@@ -1,0 +1,36 @@
+"""Helpers shared by the figure-regeneration benches.
+
+Environment knobs:
+
+* ``REPRO_BAMM_LIMIT`` — interfaces per BAMM domain (default 24; <=0 means
+  the full corpus, as the paper swept it).
+* ``REPRO_BENCH_BUDGET`` — state budget for cut-off-prone runs
+  (default 200000; the paper's plots cut at 10^6).
+"""
+
+from __future__ import annotations
+
+import os
+
+_SECTIONS: list[tuple[str, str]] = []
+
+
+def record_section(title: str, body: str) -> None:
+    """Register an ASCII table/section for the end-of-run summary."""
+    _SECTIONS.append((title, body))
+
+
+def sections() -> list[tuple[str, str]]:
+    """All sections recorded so far."""
+    return list(_SECTIONS)
+
+
+def bamm_limit() -> int | None:
+    """Interfaces per BAMM domain to evaluate (None = full domain)."""
+    value = int(os.environ.get("REPRO_BAMM_LIMIT", "24"))
+    return None if value <= 0 else value
+
+
+def bench_budget() -> int:
+    """State budget for blind/cut-off-prone searches."""
+    return int(os.environ.get("REPRO_BENCH_BUDGET", "200000"))

@@ -1,0 +1,94 @@
+"""Extension — the hybrid content+structure heuristic vs the paper's eight.
+
+The paper's conclusion asks for a "good multi-purpose search heuristic"
+measuring both content and structure.  We evaluate ``hybrid`` =
+max(h1, k·(1−cosine)) against the best paper heuristics on all three
+workload families: synthetic matching (Exp. 1), BAMM interfaces (Exp. 2),
+and complex semantic mapping (Exp. 3), plus the Fig. 1 restructuring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SearchConfig, discover_mapping
+from repro.experiments import (
+    ascii_table,
+    average_states,
+    run_bamm_domain,
+    run_matching_series,
+    run_semantic_series,
+)
+from repro.workloads import (
+    bamm_domain,
+    flights_a,
+    flights_b,
+    inventory_domain,
+)
+
+from _bench_utils import bamm_limit, record_section
+
+CONTENDERS = ("h1", "cosine", "euclid_norm", "hybrid")
+BUDGET = 60_000
+
+
+@pytest.fixture(scope="module")
+def scores():
+    """{heuristic: {workload: states}} under RBFS."""
+    books = bamm_domain("Books")
+    autos = bamm_domain("Automobiles")
+    inventory = inventory_domain()
+    limit = bamm_limit()
+    table: dict[str, dict[str, float]] = {}
+    for heuristic in CONTENDERS:
+        row: dict[str, float] = {}
+        row["match-16"] = run_matching_series(
+            "rbfs", heuristic, (16,), budget=BUDGET
+        ).states()[0]
+        row["bamm-books"] = average_states(
+            run_bamm_domain("rbfs", heuristic, books, budget=BUDGET, limit=limit)
+        )
+        row["bamm-autos"] = average_states(
+            run_bamm_domain("rbfs", heuristic, autos, budget=BUDGET, limit=limit)
+        )
+        row["semantic-8"] = run_semantic_series(
+            "rbfs", heuristic, inventory, counts=(8,), budget=BUDGET
+        ).states()[0]
+        flights = discover_mapping(
+            flights_b(),
+            flights_a(),
+            heuristic=heuristic,
+            config=SearchConfig(max_states=BUDGET),
+            simplify=False,
+        )
+        row["flights-B->A"] = (
+            flights.states_examined if flights.found else float("inf")
+        )
+        table[heuristic] = row
+    return table
+
+
+def test_extension_hybrid(benchmark, scores):
+    benchmark.pedantic(
+        lambda: discover_mapping(
+            flights_b(), flights_a(), heuristic="hybrid", simplify=False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    workloads = list(next(iter(scores.values())))
+    rows = [
+        [heuristic, *(f"{scores[heuristic][w]:.0f}" for w in workloads)]
+        for heuristic in CONTENDERS
+    ]
+    record_section(
+        "Extension — hybrid heuristic vs the paper's best (RBFS, states)",
+        ascii_table(["heuristic", *workloads], rows),
+    )
+    hybrid = scores["hybrid"]
+    # multi-purpose: within a small factor of the best contender everywhere
+    for workload in workloads:
+        best = min(scores[h][workload] for h in CONTENDERS)
+        assert hybrid[workload] <= max(10 * best, best + 50), workload
+    # and strictly better than h1 on the rename-plateau workloads
+    assert hybrid["bamm-autos"] <= scores["h1"]["bamm-autos"]

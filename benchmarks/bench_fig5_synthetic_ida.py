@@ -1,0 +1,110 @@
+"""Figure 5 — IDA*, synthetic schema matching (Experiment 1, §5.1).
+
+Regenerates both panels: the left panel (h0 vs h1, schema sizes up to 32;
+the paper's h0 curve ends at the 10^6 cut, ours at REPRO_BENCH_BUDGET) and
+the right panel (Euclid, normalized Euclid, Cosine, Levenshtein, sizes up
+to 8).  The paper notes h2 performed identically to h0 and h3 to h1 on this
+workload; we assert those equivalences instead of re-plotting them.
+
+Expected shape (paper): h0 blows up exponentially and is cut off early;
+h1/h3 stay low (near-linear); the scaled heuristics solve all sizes <= 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ascii_chart, run_matching_series, series_table
+
+from _bench_utils import bench_budget, record_section
+
+ALGORITHM = "ida"
+H1_SIZES = tuple(range(2, 33, 3))
+H0_SIZES = tuple(range(2, 9))
+SCALED_SIZES = tuple(range(2, 9))
+SCALED = ("euclid", "euclid_norm", "cosine", "levenshtein")
+
+
+@pytest.fixture(scope="module")
+def panel1():
+    h0 = run_matching_series(ALGORITHM, "h0", H0_SIZES, budget=bench_budget())
+    h1 = run_matching_series(ALGORITHM, "h1", H1_SIZES, budget=bench_budget())
+    return h0, h1
+
+
+@pytest.fixture(scope="module")
+def panel2():
+    return [
+        run_matching_series(ALGORITHM, name, SCALED_SIZES, budget=50_000)
+        for name in SCALED
+    ]
+
+
+def test_fig5_panel1(benchmark, panel1):
+    h0, h1 = panel1
+    # time the largest still-cheap representative search
+    benchmark.pedantic(
+        lambda: run_matching_series(ALGORITHM, "h1", (16,)),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["h1_states_n32"] = h1.states()[-1]
+
+    record_section(
+        "Fig. 5 (panel 1) — IDA, synthetic matching: h0 vs h1",
+        series_table([h0, h1], x_label="schema size")
+        + "\n\n"
+        + ascii_chart([h0, h1], x_label="schema size"),
+    )
+    # shape: h0 superlinear growth then cut; h1 ~ n+1
+    h0_states = h0.states()
+    assert all(b >= 2 * a for a, b in zip(h0_states[1:4], h0_states[2:5]))
+    assert not h0.points[-1].found or h0_states[-1] > 10_000
+    assert all(
+        p.states == p.x + 1 for p in h1.points
+    ), "IDA/h1 should walk straight to the goal"
+
+
+def test_fig5_panel2(benchmark, panel2):
+    benchmark.pedantic(
+        lambda: run_matching_series(ALGORITHM, "cosine", (8,), budget=50_000),
+        rounds=3,
+        iterations=1,
+    )
+    record_section(
+        "Fig. 5 (panel 2) — IDA, synthetic matching: scaled heuristics",
+        series_table(list(panel2), x_label="schema size")
+        + "\n\n"
+        + ascii_chart(list(panel2), x_label="schema size"),
+    )
+    by_name = {s.label.split("/")[1]: s for s in panel2}
+    # under IDA every scaled curve eventually climbs (the paper's right
+    # panel runs up its log axis); normalized Euclid is the best behaved
+    norm = by_name["euclid_norm"]
+    assert all(p.found for p in norm.points)
+    assert norm.states()[-1] <= 1_000
+    for name in ("euclid", "cosine", "levenshtein"):
+        states = by_name[name].states()
+        assert states[-1] > 50 * states[0], name
+    # euclid_norm dominates the other scaled heuristics at the largest size
+    assert norm.states()[-1] <= min(
+        by_name[name].states()[-1]
+        for name in ("euclid", "cosine", "levenshtein")
+    )
+
+
+def test_fig5_noted_equivalences(benchmark):
+    """'Heuristic h2 performed identically to h0, and heuristic h3's
+    performance was identical to h1' (§5.1)."""
+
+    def run_all():
+        out = {}
+        for name in ("h0", "h1", "h2", "h3"):
+            out[name] = run_matching_series(
+                ALGORITHM, name, (2, 3, 4), budget=bench_budget()
+            ).states()
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert results["h2"] == results["h0"]
+    assert results["h3"] == results["h1"]

@@ -1,0 +1,143 @@
+"""Figures 7 & 8 — BAMM deep-web schema matching (Experiment 2, §5.2).
+
+Fig. 7(a)/(b): average states examined per domain (Books, Automobiles,
+Music, Movies) for all eight heuristics, under IDA and RBFS.
+Fig. 8: the same averages aggregated across all four domains.
+
+Expected shape (paper): h0 worst (hundreds to ~1000); the term-vector
+heuristics (cosine, normalized Euclid) best; RBFS typically examines fewer
+states than IDA.
+
+The corpus is our synthetic BAMM stand-in (see DESIGN.md); set
+``REPRO_BAMM_LIMIT=0`` to sweep every interface like the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    average_states,
+    averages_table,
+    run_bamm_domain,
+)
+from repro.heuristics import HEURISTIC_NAMES
+from repro.workloads import DOMAIN_NAMES, bamm_corpus
+
+from _bench_utils import bamm_limit, record_section
+
+BUDGET = 60_000
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return bamm_corpus()
+
+
+@pytest.fixture(scope="module")
+def averages(corpus):
+    """{algorithm: {heuristic: {domain: avg states}}} for the whole grid."""
+    limit = bamm_limit()
+    grid: dict[str, dict[str, dict[str, float]]] = {}
+    for algorithm in ("ida", "rbfs"):
+        grid[algorithm] = {}
+        for heuristic in HEURISTIC_NAMES:
+            grid[algorithm][heuristic] = {
+                name: average_states(
+                    run_bamm_domain(
+                        algorithm,
+                        heuristic,
+                        corpus[name],
+                        budget=BUDGET,
+                        limit=limit,
+                    )
+                )
+                for name in DOMAIN_NAMES
+            }
+    return grid
+
+
+def test_fig7a_ida_per_domain(benchmark, averages, corpus):
+    benchmark.pedantic(
+        lambda: run_bamm_domain("ida", "cosine", corpus["Books"], limit=8),
+        rounds=1,
+        iterations=1,
+    )
+    record_section(
+        "Fig. 7(a) — IDA, avg states per BAMM domain",
+        averages_table(averages["ida"]),
+    )
+    ida = averages["ida"]
+    for domain in DOMAIN_NAMES:
+        assert ida["cosine"][domain] <= ida["h0"][domain]
+        assert ida["euclid_norm"][domain] <= ida["h0"][domain]
+
+
+def test_fig7b_rbfs_per_domain(benchmark, averages, corpus):
+    benchmark.pedantic(
+        lambda: run_bamm_domain("rbfs", "cosine", corpus["Books"], limit=8),
+        rounds=1,
+        iterations=1,
+    )
+    record_section(
+        "Fig. 7(b) — RBFS, avg states per BAMM domain",
+        averages_table(averages["rbfs"]),
+    )
+    rbfs = averages["rbfs"]
+    for domain in DOMAIN_NAMES:
+        assert rbfs["cosine"][domain] <= rbfs["h0"][domain]
+        assert rbfs["euclid_norm"][domain] <= rbfs["h1"][domain]
+
+
+def test_bamm_matchings_are_correct(benchmark, corpus):
+    """The paper's premise behind Figs. 7/8: the discovered mappings are the
+    *correct* matchings.  Verify against the generator's gold pairs."""
+    from repro import discover_mapping
+    from repro.experiments import evaluate_matching
+
+    def check():
+        perfect = total = 0
+        for domain in corpus.values():
+            for task in domain.tasks[: (bamm_limit() or len(domain.tasks))]:
+                result = discover_mapping(
+                    task.source, task.target, heuristic="euclid_norm"
+                )
+                total += 1
+                if result.found and evaluate_matching(task, result.expression).perfect:
+                    perfect += 1
+        return perfect, total
+
+    perfect, total = benchmark.pedantic(check, rounds=1, iterations=1)
+    record_section(
+        "Fig. 7/8 premise — matching correctness (RBFS/euclid_norm)",
+        f"{perfect}/{total} interfaces matched exactly against gold",
+    )
+    assert perfect == total
+
+
+def test_fig8_overall_averages(benchmark, averages):
+    def aggregate():
+        overall: dict[str, dict[str, float]] = {}
+        for heuristic in HEURISTIC_NAMES:
+            overall[heuristic] = {}
+            for algorithm in ("ida", "rbfs"):
+                per_domain = averages[algorithm][heuristic]
+                overall[heuristic][algorithm.upper()] = sum(
+                    per_domain.values()
+                ) / len(per_domain)
+        return overall
+
+    overall = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    record_section(
+        "Fig. 8 — avg states across all BAMM domains (IDA vs RBFS)",
+        averages_table(overall),
+    )
+    # paper's headline findings:
+    # (1) cosine and normalized Euclid are among the best performers overall
+    top_four = set(sorted(overall, key=lambda h: overall[h]["RBFS"])[:4])
+    assert {"cosine", "euclid_norm"} <= top_four
+    # (2) RBFS examines fewer states than IDA for the blind baseline
+    assert overall["h0"]["RBFS"] <= overall["h0"]["IDA"]
+    # (3) every informed heuristic beats blind search on average
+    for heuristic in ("h1", "h3", "euclid_norm", "cosine", "levenshtein"):
+        assert overall[heuristic]["RBFS"] <= overall["h0"]["RBFS"]

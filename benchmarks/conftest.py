@@ -1,0 +1,32 @@
+"""Pytest hooks for the benches: print the regenerated figure tables.
+
+``pytest benchmarks/ --benchmark-only`` then emits both pytest-benchmark's
+timing table and the paper-comparison tables (states examined) registered
+via :func:`_bench_utils.record_section`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_utils import sections  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    recorded = sections()
+    if not recorded:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("TUPELO reproduction — regenerated tables & figures (states examined)")
+    write("=" * 78)
+    for title, body in recorded:
+        write("")
+        write(f"## {title}")
+        for line in body.splitlines():
+            write(line)
+    write("")

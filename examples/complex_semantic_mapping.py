@@ -1,0 +1,68 @@
+"""Complex (many-to-one) semantic mappings with the λ operator (paper §4).
+
+An inventory system must be mapped onto a warehouse schema whose columns
+are *computed*: total stock value, available units, metric weights, euro
+prices, SKU lookups.  The user declares each complex correspondence
+("TotalValue <- multiply(UnitsInStock, UnitPrice)") on the critical
+instances; TUPELO places the λ applications inside the larger mapping
+expression by search, treating every function as an opaque black box.
+
+Run:  python examples/complex_semantic_mapping.py
+"""
+
+from __future__ import annotations
+
+from repro import Tupelo
+from repro.semantics import encode_correspondence
+from repro.workloads import inventory_domain
+
+
+def main() -> None:
+    domain = inventory_domain()
+    task = domain.task(6)  # first six of the ten declared complex mappings
+
+    print("Source critical instance (inventory system):")
+    print(task.source.to_text())
+    print()
+    print("Declared complex correspondences:")
+    for corr in task.correspondences:
+        print(f"  {corr}")
+        print(f"    TNF encoding: {encode_correspondence(corr)}")
+    print()
+    print("Target critical instance (warehouse schema, values computed):")
+    print(task.target.to_text())
+    print()
+
+    engine = Tupelo(algorithm="rbfs", heuristic="h1", registry=task.registry)
+    result = engine.discover(
+        task.source, task.target, correspondences=task.correspondences
+    )
+    assert result.found
+
+    print("Discovered mapping expression:")
+    print(result.expression)
+    print()
+    print(
+        f"search: {result.stats.states_examined} states examined, "
+        f"expression has {len(result.expression)} operators"
+    )
+    print()
+
+    mapped = result.expression.apply(task.source, task.registry)
+    print("Expression executed on the source instance:")
+    print(mapped.relation(domain.target_relation).to_text())
+    assert mapped.contains(task.target)
+
+    print()
+    print("Scaling with the number of declared functions (the Fig. 9 axis):")
+    for n in range(1, domain.max_functions + 1):
+        step = domain.task(n)
+        run = engine.discover(
+            step.source, step.target, correspondences=step.correspondences
+        )
+        bar = "#" * run.stats.states_examined
+        print(f"  {n:2d} functions: {run.stats.states_examined:4d} states  {bar}")
+
+
+if __name__ == "__main__":
+    main()

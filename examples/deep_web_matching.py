@@ -1,0 +1,63 @@
+"""Deep-web schema matching: mapping a mediator schema onto query interfaces.
+
+This is the paper's Experiment 2 scenario (the BAMM domains of the UIUC Web
+Integration Repository, here a synthetic stand-in with the same structure):
+a mediator holds a full "Books" schema and must map it onto dozens of book
+search interfaces, each exposing a subset of concepts under its own
+attribute names.  The mapping is pure schema matching — a special case of
+the language L (attribute and relation renames).
+
+The example also compares heuristics on the same tasks, previewing the
+Fig. 7 result that the term-vector heuristics dominate the set-based ones.
+
+Run:  python examples/deep_web_matching.py
+"""
+
+from __future__ import annotations
+
+from repro import Tupelo
+from repro.experiments import ascii_table
+from repro.workloads import bamm_domain
+
+
+def main() -> None:
+    domain = bamm_domain("Books")
+    print(f"Fixed mediator schema for the {domain.name} domain:")
+    print(domain.source.to_text())
+    print()
+
+    engine = Tupelo(algorithm="rbfs", heuristic="cosine")
+
+    print("Mapping the mediator schema onto the first five interfaces:")
+    for task in domain.tasks[:5]:
+        result = engine.discover(task.source, task.target)
+        assert result.found
+        print()
+        print(f"--- interface {task.target.relation_names[0]} "
+              f"({task.target_size} attributes, "
+              f"{result.stats.states_examined} states) ---")
+        if result.expression.is_identity:
+            print("(schemas already aligned — identity mapping)")
+        else:
+            print(result.expression)
+
+    print()
+    print("Heuristic comparison on the same 12 interfaces (states examined):")
+    heuristics = ["h0", "h1", "euclid_norm", "cosine"]
+    rows = []
+    for task in domain.tasks[:12]:
+        row: list[object] = [task.target.relation_names[0]]
+        for heuristic in heuristics:
+            result = Tupelo(algorithm="rbfs", heuristic=heuristic).discover(
+                task.source, task.target
+            )
+            row.append(result.stats.states_examined if result.found else "cutoff")
+        rows.append(row)
+    print(ascii_table(["interface", *heuristics], rows))
+    print()
+    print("Note how the term-vector heuristics (euclid_norm, cosine) examine")
+    print("far fewer states on the harder interfaces — the Fig. 7/8 result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Quickstart: discover a schema mapping from critical instances.
+
+Scenario (Fig. 1 of the paper): two travel agencies store the same flight
+prices under different schemas.  FlightsB keeps routes as *data*; FlightsA
+keeps routes as *columns*.  We give TUPELO one small example instance of
+each ("critical instances" illustrating the same information) and it finds
+the transformation pipeline — promote, drop, merge, rename — that maps B
+onto A.  The discovered expression is then executed on a bigger instance.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, Tupelo
+
+# --- 1. critical instances ---------------------------------------------------
+
+source = Database.from_dict(
+    {
+        "Prices": [
+            {"Carrier": "AirEast", "Route": "ATL29", "Cost": 100, "AgentFee": 15},
+            {"Carrier": "JetWest", "Route": "ATL29", "Cost": 200, "AgentFee": 16},
+            {"Carrier": "AirEast", "Route": "ORD17", "Cost": 110, "AgentFee": 15},
+            {"Carrier": "JetWest", "Route": "ORD17", "Cost": 220, "AgentFee": 16},
+        ]
+    }
+)
+
+target = Database.from_dict(
+    {
+        "Flights": [
+            {"Carrier": "AirEast", "Fee": 15, "ATL29": 100, "ORD17": 110},
+            {"Carrier": "JetWest", "Fee": 16, "ATL29": 200, "ORD17": 220},
+        ]
+    }
+)
+
+
+def main() -> None:
+    print("Source critical instance:")
+    print(source.to_text())
+    print()
+    print("Target critical instance:")
+    print(target.to_text())
+    print()
+
+    # --- 2. discovery ---------------------------------------------------------
+    engine = Tupelo(algorithm="rbfs", heuristic="euclid_norm")
+    result = engine.discover(source, target)
+    assert result.found, result.status
+
+    print("Discovered mapping expression (language L):")
+    print(result.expression)
+    print()
+    print("Paper-style notation:")
+    print(result.expression.to_unicode())
+    print()
+    print(
+        f"search: {result.algorithm}/{result.heuristic}, "
+        f"{result.stats.states_examined} states examined, "
+        f"{result.stats.elapsed_seconds * 1000:.1f} ms"
+    )
+    print()
+
+    # --- 3. execute the mapping on a larger instance ---------------------------
+    production = Database.from_dict(
+        {
+            "Prices": [
+                {"Carrier": "AirEast", "Route": "ATL29", "Cost": 100, "AgentFee": 15},
+                {"Carrier": "AirEast", "Route": "ORD17", "Cost": 110, "AgentFee": 15},
+                {"Carrier": "JetWest", "Route": "ATL29", "Cost": 200, "AgentFee": 16},
+                {"Carrier": "JetWest", "Route": "ORD17", "Cost": 220, "AgentFee": 16},
+                {"Carrier": "SkyHop", "Route": "ATL29", "Cost": 150, "AgentFee": 12},
+                {"Carrier": "SkyHop", "Route": "ORD17", "Cost": 160, "AgentFee": 12},
+            ]
+        }
+    )
+    mapped = result.expression.apply(production)
+    print("Expression replayed on a bigger Prices instance:")
+    print(mapped.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build an
+editable wheel.  This shim lets ``pip install -e . --no-use-pep517`` (or
+``python setup.py develop``) install the package the classic way.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "TUPELO: data mapping as heuristic search "
+        "(reproduction of Fletcher & Wyss, EDBT 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

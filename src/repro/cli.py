@@ -1,0 +1,186 @@
+"""Command-line interface for TUPELO.
+
+Critical instances live as directories of CSV files (one relation per
+file, header row = attributes), mirroring the paper's GUI inputs (Fig. 3).
+
+Commands::
+
+    python -m repro discover --source DIR --target DIR
+        [--algorithm rbfs] [--heuristic h1] [--k K] [--budget N]
+        [--correspondence "Total<-add(Cost,Fee)"]...
+        [--show-matching] [--show-sql] [--output FILE]
+
+    python -m repro apply --expression FILE --source DIR [--output DIR]
+
+    python -m repro tnf --source DIR
+
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import TupeloError
+from .fira import compile_expression, extract_matching, parse_expression
+from .heuristics.registry import EXTENSION_HEURISTIC_NAMES, HEURISTIC_NAMES
+from .relational import load_database_dir, save_database, tnf_encode
+from .search import ALGORITHM_NAMES, SearchConfig, discover_mapping
+from .semantics import builtin_registry, decode_correspondence
+
+
+def _parse_correspondence_arg(text: str):
+    """Accept both the TNF encoding and the bare 'Out<-fn(A,B)' form."""
+    if not text.startswith("λ:"):
+        text = "λ:" + text
+    return decode_correspondence(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TUPELO — data mapping as search (EDBT 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    discover = sub.add_parser(
+        "discover", help="discover a mapping between two critical instances"
+    )
+    discover.add_argument("--source", required=True, help="source CSV directory")
+    discover.add_argument("--target", required=True, help="target CSV directory")
+    discover.add_argument(
+        "--algorithm", default="rbfs", choices=sorted(ALGORITHM_NAMES)
+    )
+    discover.add_argument(
+        "--heuristic",
+        default="h1",
+        choices=sorted(HEURISTIC_NAMES + EXTENSION_HEURISTIC_NAMES),
+    )
+    discover.add_argument("--k", type=float, default=None, help="scaling constant")
+    discover.add_argument(
+        "--budget", type=int, default=1_000_000, help="max states examined"
+    )
+    discover.add_argument(
+        "--correspondence",
+        action="append",
+        default=[],
+        metavar="OUT<-FN(IN,..)",
+        help="declare a complex semantic correspondence (repeatable)",
+    )
+    discover.add_argument(
+        "--show-matching",
+        action="store_true",
+        help="also print the induced schema matching",
+    )
+    discover.add_argument(
+        "--show-sql", action="store_true", help="also print the SQL compilation"
+    )
+    discover.add_argument(
+        "--output", default=None, help="write the expression to this file"
+    )
+
+    apply_cmd = sub.add_parser(
+        "apply", help="execute a mapping expression on a source instance"
+    )
+    apply_cmd.add_argument("--expression", required=True, help="expression file")
+    apply_cmd.add_argument("--source", required=True, help="source CSV directory")
+    apply_cmd.add_argument(
+        "--output", default=None, help="write result CSVs here (default: print)"
+    )
+
+    tnf = sub.add_parser("tnf", help="print the TNF encoding of an instance")
+    tnf.add_argument("--source", required=True, help="source CSV directory")
+
+    sub.add_parser("info", help="list available algorithms and heuristics")
+    return parser
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    """Run mapping discovery between two CSV-directory instances."""
+    source = load_database_dir(args.source)
+    target = load_database_dir(args.target)
+    correspondences = [
+        _parse_correspondence_arg(text) for text in args.correspondence
+    ]
+    result = discover_mapping(
+        source,
+        target,
+        algorithm=args.algorithm,
+        heuristic=args.heuristic,
+        k=args.k,
+        correspondences=correspondences,
+        config=SearchConfig(max_states=args.budget),
+    )
+    print(
+        f"status: {result.status}  "
+        f"(states examined: {result.stats.states_examined}, "
+        f"{result.stats.elapsed_seconds * 1000:.1f} ms)"
+    )
+    if not result.found:
+        return 1
+    print()
+    print(result.expression if not result.expression.is_identity else "(identity)")
+    if args.show_matching:
+        print()
+        print("# induced schema matching")
+        print(extract_matching(result.expression))
+    if args.show_sql:
+        print()
+        print(compile_expression(result.expression, source, builtin_registry()))
+    if args.output:
+        Path(args.output).write_text(str(result.expression) + "\n")
+        print(f"\nexpression written to {args.output}")
+    return 0
+
+
+def cmd_apply(args: argparse.Namespace) -> int:
+    """Execute a stored mapping expression on a source instance."""
+    expression = parse_expression(Path(args.expression).read_text())
+    source = load_database_dir(args.source)
+    mapped = expression.apply(source, builtin_registry())
+    if args.output:
+        paths = save_database(mapped, args.output)
+        print(f"wrote {len(paths)} relation(s) to {args.output}")
+    else:
+        print(mapped.to_text())
+    return 0
+
+
+def cmd_tnf(args: argparse.Namespace) -> int:
+    """Print the TNF encoding of an instance."""
+    source = load_database_dir(args.source)
+    print(tnf_encode(source).to_text())
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    """List available algorithms and heuristics."""
+    print("algorithms: " + ", ".join(ALGORITHM_NAMES))
+    print("heuristics: " + ", ".join(HEURISTIC_NAMES))
+    print("extensions: " + ", ".join(EXTENSION_HEURISTIC_NAMES))
+    return 0
+
+
+_COMMANDS = {
+    "discover": cmd_discover,
+    "apply": cmd_apply,
+    "tnf": cmd_tnf,
+    "info": cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except TupeloError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

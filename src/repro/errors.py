@@ -1,0 +1,160 @@
+"""Exception hierarchy for the TUPELO reproduction.
+
+Every error raised by this package derives from :class:`TupeloError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: relational-model errors, transformation-language errors, semantic
+function errors, and search errors.
+"""
+
+from __future__ import annotations
+
+
+class TupeloError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(TupeloError):
+    """Base class for errors in the relational data model."""
+
+
+class SchemaError(RelationalError):
+    """A relation or database was constructed with an invalid schema.
+
+    Examples: duplicate attribute names, empty relation name, tuples whose
+    arity does not match the schema.
+    """
+
+
+class UnknownRelationError(RelationalError):
+    """An operation referenced a relation name absent from the database."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown relation {name!r}"
+        if available:
+            message += f" (available: {', '.join(sorted(self.available))})"
+        super().__init__(message)
+
+
+class UnknownAttributeError(RelationalError):
+    """An operation referenced an attribute absent from a relation."""
+
+    def __init__(self, attribute: str, relation: str, available: tuple[str, ...] = ()) -> None:
+        self.attribute = attribute
+        self.relation = relation
+        self.available = tuple(available)
+        message = f"unknown attribute {attribute!r} in relation {relation!r}"
+        if available:
+            message += f" (available: {', '.join(sorted(self.available))})"
+        super().__init__(message)
+
+
+class TNFError(RelationalError):
+    """A Tuple Normal Form table was malformed or could not be decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Transformation language L
+# ---------------------------------------------------------------------------
+
+
+class TransformError(TupeloError):
+    """Base class for errors applying operators of the language L."""
+
+
+class OperatorApplicationError(TransformError):
+    """An operator could not be applied to the given database."""
+
+
+class NameCollisionError(TransformError):
+    """An operator would create a relation or attribute that already exists."""
+
+
+class ExpressionParseError(TransformError):
+    """A textual mapping expression could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None) -> None:
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} at position {position}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Complex semantic functions
+# ---------------------------------------------------------------------------
+
+
+class SemanticError(TupeloError):
+    """Base class for errors involving complex semantic functions."""
+
+
+class UnknownFunctionError(SemanticError):
+    """A mapping expression referenced a function missing from the registry."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown semantic function {name!r}")
+
+
+class SignatureError(SemanticError):
+    """A semantic function was applied to arguments of the wrong arity/type."""
+
+
+class CorrespondenceError(SemanticError):
+    """A complex correspondence declaration was malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Search
+# ---------------------------------------------------------------------------
+
+
+class SearchError(TupeloError):
+    """Base class for errors raised by the search engine."""
+
+
+class UnknownHeuristicError(SearchError):
+    """A heuristic name was not found in the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown heuristic {name!r}"
+        if available:
+            message += f" (available: {', '.join(sorted(self.available))})"
+        super().__init__(message)
+
+
+class UnknownAlgorithmError(SearchError):
+    """A search algorithm name was not found in the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown search algorithm {name!r}"
+        if available:
+            message += f" (available: {', '.join(sorted(self.available))})"
+        super().__init__(message)
+
+
+class SearchBudgetExceeded(SearchError):
+    """The search examined more states than its configured budget allows."""
+
+    def __init__(self, budget: int, states_examined: int) -> None:
+        self.budget = budget
+        self.states_examined = states_examined
+        super().__init__(
+            f"search budget of {budget} states exceeded ({states_examined} examined)"
+        )
+
+
+class MappingNotFound(SearchError):
+    """The search space was exhausted without reaching the target instance."""

@@ -1,0 +1,84 @@
+"""Persist experiment results to JSON.
+
+Bench runs are cheap but not free; this module archives
+:class:`~repro.experiments.runner.ExperimentSeries` collections so results
+can be versioned, diffed across runs, and re-rendered into tables/charts
+without re-searching.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .runner import ExperimentPoint, ExperimentSeries
+
+#: current archive format version
+FORMAT_VERSION = 1
+
+
+def series_to_dict(series: ExperimentSeries) -> dict:
+    """Plain-dict form of one series."""
+    return {
+        "label": series.label,
+        "points": [
+            {
+                "x": point.x,
+                "states": point.states,
+                "status": point.status,
+                "expression_size": point.expression_size,
+            }
+            for point in series.points
+        ],
+    }
+
+
+def series_from_dict(data: Mapping) -> ExperimentSeries:
+    """Inverse of :func:`series_to_dict`."""
+    return ExperimentSeries(
+        label=str(data["label"]),
+        points=tuple(
+            ExperimentPoint(
+                x=point["x"],
+                states=int(point["states"]),
+                status=str(point["status"]),
+                expression_size=int(point.get("expression_size", 0)),
+            )
+            for point in data["points"]
+        ),
+    )
+
+
+def save_series(
+    path: str | Path,
+    series_list: Sequence[ExperimentSeries],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write series (plus free-form metadata) to a JSON file."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "series": [series_to_dict(series) for series in series_list],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_series(path: str | Path) -> tuple[list[ExperimentSeries], dict]:
+    """Read series and metadata back from a JSON archive.
+
+    Raises:
+        ValueError: on unknown format versions.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported experiment archive version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    series_list = [series_from_dict(item) for item in payload["series"]]
+    return series_list, dict(payload.get("metadata", {}))

@@ -1,0 +1,72 @@
+"""ASCII log-scale charts for the regenerated figures.
+
+The paper's figures plot *states examined* on a log axis against schema
+size / function count.  :func:`ascii_chart` renders the same series as a
+fixed-width chart so the bench output visually mirrors the figures (one
+mark per series per x, log-scaled rows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .runner import ExperimentSeries
+
+#: marks assigned to series, in order
+SERIES_MARKS = "ox*+#%@&"
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1.0))
+
+
+def ascii_chart(
+    series_list: Sequence[ExperimentSeries],
+    x_label: str = "x",
+    height: int = 12,
+    width_per_x: int = 4,
+) -> str:
+    """Render series as a log-scale ASCII chart with a legend.
+
+    Each column is one x value; each series draws its mark at the row
+    matching ``log10(states)``; collisions print ``!``.
+    """
+    if not series_list or all(not s.points for s in series_list):
+        return "(no data)"
+    xs = sorted({p.x for s in series_list for p in s.points})
+    top = max(_log(p.states) for s in series_list for p in s.points)
+    top = max(top, 1.0)
+
+    def row_of(states: int) -> int:
+        return min(height - 1, int(round(_log(states) / top * (height - 1))))
+
+    grid = [[" "] * (len(xs) * width_per_x) for _ in range(height)]
+    for mark, series in zip(SERIES_MARKS, series_list):
+        lookup = {p.x: p for p in series.points}
+        for column, x in enumerate(xs):
+            point = lookup.get(x)
+            if point is None:
+                continue
+            row = row_of(point.states)
+            cell = column * width_per_x + width_per_x // 2
+            grid[row][cell] = "!" if grid[row][cell] not in (" ", mark) else mark
+
+    lines = []
+    for row in range(height - 1, -1, -1):
+        magnitude = row / (height - 1) * top
+        label = f"10^{magnitude:>4.1f} |"
+        lines.append(label + "".join(grid[row]))
+    axis = " " * 8 + "+" + "-" * (len(xs) * width_per_x)
+    lines.append(axis)
+    ticks = " " * 9
+    for x in xs:
+        ticks += str(int(x) if float(x).is_integer() else x).center(width_per_x)
+    lines.append(ticks)
+    lines.append(" " * 9 + f"({x_label}; y = states examined, log scale)")
+    legend = "  ".join(
+        f"{mark}={series.label}"
+        for mark, series in zip(SERIES_MARKS, series_list)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Experiment runner: regenerate the paper's evaluation series (§5).
+
+Each ``run_*`` function reproduces the measurement behind one family of
+figures, returning structured points (x-value, states examined, status) that
+the benches print and EXPERIMENTS.md records.  States are counted exactly as
+in the paper; tasks that exhaust the state budget are reported at the budget
+value with status ``budget_exceeded`` — the equivalent of the paper's plots
+being cut at 10^6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..search.config import SearchConfig
+from ..search.engine import discover_mapping
+from ..search.result import STATUS_FOUND, SearchResult
+from ..workloads.bamm import BammDomain, bamm_corpus
+from ..workloads.semantic_domains import (
+    PAPER_FUNCTION_COUNTS,
+    SemanticDomain,
+)
+from ..workloads.synthetic import matching_pair
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One measured point of an experiment series.
+
+    Attributes:
+        x: the independent variable (schema size, function count, ...).
+        states: states examined (capped at the budget when exceeded).
+        status: the search status at this point.
+        expression_size: operators in the discovered expression (0 if none).
+    """
+
+    x: float
+    states: int
+    status: str
+    expression_size: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.status == STATUS_FOUND
+
+
+@dataclass(frozen=True)
+class ExperimentSeries:
+    """A labelled series of measured points (one plotted line)."""
+
+    label: str
+    points: tuple[ExperimentPoint, ...]
+
+    def states(self) -> list[int]:
+        """The y-values of the series."""
+        return [p.states for p in self.points]
+
+
+def _point(x: float, result: SearchResult) -> ExperimentPoint:
+    size = len(result.expression) if result.expression is not None else 0
+    return ExperimentPoint(
+        x=x,
+        states=result.states_examined,
+        status=result.status,
+        expression_size=size,
+    )
+
+
+def run_matching_series(
+    algorithm: str,
+    heuristic: str,
+    sizes: Sequence[int],
+    budget: int = 1_000_000,
+    k: float | None = None,
+    stop_after_cutoff: bool = True,
+) -> ExperimentSeries:
+    """Experiment 1 (Figs. 5 & 6): synthetic schema matching.
+
+    Measures states examined for matching the ``A1..An -> B1..Bn`` pair at
+    each size.  With *stop_after_cutoff* (default), the series stops once a
+    size exhausts the budget — larger sizes only get more expensive, which
+    is how the paper's curves end at the 10^6 cut.
+    """
+    config = SearchConfig(max_states=budget)
+    points: list[ExperimentPoint] = []
+    for size in sizes:
+        pair = matching_pair(size)
+        result = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            k=k,
+            config=config,
+            simplify=False,
+        )
+        points.append(_point(size, result))
+        if stop_after_cutoff and not result.found:
+            break
+    return ExperimentSeries(
+        label=f"{algorithm}/{heuristic}", points=tuple(points)
+    )
+
+
+def run_bamm_domain(
+    algorithm: str,
+    heuristic: str,
+    domain: BammDomain,
+    budget: int = 100_000,
+    k: float | None = None,
+    limit: int | None = None,
+) -> ExperimentSeries:
+    """Experiment 2 (Figs. 7 & 8): one BAMM domain, fixed source -> targets.
+
+    Returns one point per interface (x = interface id); callers average the
+    states (the paper reports per-domain averages).  *limit* restricts the
+    number of interfaces for quick runs.
+    """
+    config = SearchConfig(max_states=budget)
+    tasks = domain.tasks[:limit] if limit is not None else domain.tasks
+    points: list[ExperimentPoint] = []
+    for task in tasks:
+        result = discover_mapping(
+            task.source,
+            task.target,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            k=k,
+            config=config,
+            simplify=False,
+        )
+        points.append(_point(task.interface_id, result))
+    return ExperimentSeries(
+        label=f"{algorithm}/{heuristic}/{domain.name}", points=tuple(points)
+    )
+
+
+def average_states(series: ExperimentSeries) -> float:
+    """Mean states examined across a series (budget-capped points included)."""
+    states = series.states()
+    return sum(states) / len(states) if states else 0.0
+
+
+def run_bamm_averages(
+    algorithm: str,
+    heuristic: str,
+    budget: int = 100_000,
+    k: float | None = None,
+    limit: int | None = None,
+    seed: int = 2006,
+) -> dict[str, float]:
+    """Per-domain average states for one algorithm/heuristic (Fig. 7 bars)."""
+    corpus = bamm_corpus(seed)
+    return {
+        name: average_states(
+            run_bamm_domain(algorithm, heuristic, domain, budget, k, limit)
+        )
+        for name, domain in corpus.items()
+    }
+
+
+def run_semantic_series(
+    algorithm: str,
+    heuristic: str,
+    domain: SemanticDomain,
+    counts: Sequence[int] = PAPER_FUNCTION_COUNTS,
+    budget: int = 100_000,
+    k: float | None = None,
+    stop_after_cutoff: bool = True,
+) -> ExperimentSeries:
+    """Experiment 3 (Fig. 9): states vs number of complex functions."""
+    config = SearchConfig(max_states=budget)
+    points: list[ExperimentPoint] = []
+    for n in counts:
+        if n > domain.max_functions:
+            break
+        task = domain.task(n)
+        result = discover_mapping(
+            task.source,
+            task.target,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            k=k,
+            correspondences=task.correspondences,
+            registry=task.registry,
+            config=config,
+            simplify=False,
+        )
+        points.append(_point(n, result))
+        if stop_after_cutoff and not result.found:
+            break
+    return ExperimentSeries(
+        label=f"{algorithm}/{heuristic}/{domain.name}", points=tuple(points)
+    )

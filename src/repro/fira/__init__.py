@@ -1,0 +1,73 @@
+"""The transformation language L (FIRA fragment, Table 1 + λ of §4).
+
+Operators:
+
+========================  =========================================
+Paper notation            Class
+========================  =========================================
+``ρatt X→X'``             :class:`RenameAttribute`
+``ρrel X→X'``             :class:`RenameRelation`
+``π̄A``                    :class:`DropAttribute`
+``↑A→B``                  :class:`Promote`
+``↓``                     :class:`Demote`
+``→B/A``                  :class:`Dereference`
+``℘A``                    :class:`Partition`
+``×``                     :class:`CartesianProduct`
+``µA``                    :class:`Merge`
+``λB f,Ā``                :class:`ApplyFunction`
+``σ`` (post-processing)   :class:`Select`
+========================  =========================================
+"""
+
+from .base import Operator, RelationOperator
+from .combine import CartesianProduct, Merge, merge_group, merge_tuples, tuples_compatible
+from .dynamic import (
+    DEMOTE_ATT_ATTR,
+    DEMOTE_REL_ATTR,
+    Demote,
+    Dereference,
+    Partition,
+    Promote,
+)
+from .expression import MappingExpression, equivalent_on, expression_of
+from .macros import pivot, unpivot
+from .matching import AttributeMatch, RelationMatch, SchemaMatching, extract_matching
+from .parser import parse_expression, parse_operator
+from .renames import RenameAttribute, RenameRelation
+from .semantic import ApplyFunction
+from .sqlcompile import compile_expression, compile_operator
+from .structure import DropAttribute, Select
+
+__all__ = [
+    "Operator",
+    "RelationOperator",
+    "CartesianProduct",
+    "Merge",
+    "merge_group",
+    "merge_tuples",
+    "tuples_compatible",
+    "DEMOTE_ATT_ATTR",
+    "DEMOTE_REL_ATTR",
+    "Demote",
+    "Dereference",
+    "Partition",
+    "Promote",
+    "MappingExpression",
+    "equivalent_on",
+    "expression_of",
+    "AttributeMatch",
+    "RelationMatch",
+    "SchemaMatching",
+    "extract_matching",
+    "pivot",
+    "unpivot",
+    "parse_expression",
+    "parse_operator",
+    "RenameAttribute",
+    "RenameRelation",
+    "ApplyFunction",
+    "compile_expression",
+    "compile_operator",
+    "DropAttribute",
+    "Select",
+]

@@ -1,0 +1,170 @@
+"""Multi-tuple / multi-relation operators: cartesian product (×), merge (µ).
+
+``µA`` is the Wyss–Robertson merge from their PIVOT/UNPIVOT characterisation
+(paper reference [40]): tuples sharing a value of A whose remaining columns
+are NULL-compatible coalesce into a single tuple.  It is the operator that
+collapses the ragged relation produced by ``promote`` back into proper rows
+(Example 2, step R3: ``µCarrier``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OperatorApplicationError
+from ..relational.database import Database
+from ..relational.relation import Relation, Row
+from ..relational.types import is_null, value_sort_key
+from .base import Operator, RelationOperator
+
+
+def tuples_compatible(left: Row, right: Row) -> bool:
+    """NULL-compatibility: values agree wherever both are non-NULL."""
+    return all(
+        is_null(a) or is_null(b) or a == b for a, b in zip(left, right)
+    )
+
+
+def merge_tuples(left: Row, right: Row) -> Row:
+    """Coalesce two compatible rows, preferring non-NULL values."""
+    return tuple(b if is_null(a) else a for a, b in zip(left, right))
+
+
+def merge_group(rows: list[Row]) -> list[Row]:
+    """Greedily merge compatible rows in a group to a fixpoint.
+
+    Deterministic: rows are processed in canonical sorted order and each row
+    merges into the first compatible accumulated row.
+    """
+    ordered = sorted(rows, key=lambda row: tuple(value_sort_key(v) for v in row))
+    merged: list[Row] = []
+    for row in ordered:
+        for i, existing in enumerate(merged):
+            if tuples_compatible(existing, row):
+                merged[i] = merge_tuples(existing, row)
+                break
+        else:
+            merged.append(row)
+    # A merge can unlock further merges (a row compatible with the coalesced
+    # value but not with either original); iterate to a fixpoint.
+    if len(merged) < len(rows):
+        return merge_group(merged)
+    return merged
+
+
+@dataclass(frozen=True)
+class Merge(RelationOperator):
+    """µA — merge tuples with equal A-values that are NULL-compatible."""
+
+    relation: str
+    attribute: str
+
+    keyword = "merge"
+
+    def apply(self, db: Database, registry=None) -> Database:
+        rel = self._target(db)
+        if not rel.has_attribute(self.attribute):
+            raise OperatorApplicationError(
+                f"merge: {self.relation!r} has no attribute {self.attribute!r}"
+            )
+        position = rel.attribute_position(self.attribute)
+        groups: dict[object, list[Row]] = {}
+        null_rows: list[Row] = []
+        for row in rel.rows:
+            key = row[position]
+            if is_null(key):
+                # NULL never equals NULL: such tuples do not participate.
+                null_rows.append(row)
+            else:
+                groups.setdefault(key, []).append(row)
+        merged_rows: list[Row] = list(null_rows)
+        for key in sorted(groups, key=value_sort_key):
+            merged_rows.extend(merge_group(groups[key]))
+        return db.with_relation(rel.with_rows(merged_rows))
+
+    def is_applicable(self, db: Database) -> bool:
+        if not db.has_relation(self.relation):
+            return False
+        return db.relation(self.relation).has_attribute(self.attribute)
+
+    def __str__(self) -> str:
+        return f"merge[{self.relation}]({self.attribute})"
+
+    def to_unicode(self) -> str:
+        return f"µ{{{self.attribute}}}({self.relation})"
+
+
+@dataclass(frozen=True)
+class CartesianProduct(Operator):
+    """×(R, S) — cartesian product as a new relation.
+
+    The result is named ``<left>*<right>`` unless *result* is given; the
+    operand relations remain in the database (the goal test tolerates
+    supersets).  Attribute clashes are disambiguated by qualifying with the
+    operand relation names.
+    """
+
+    left: str
+    right: str
+    result: str | None = None
+
+    keyword = "product"
+
+    @property
+    def result_name(self) -> str:
+        """The name the product relation will carry."""
+        return self.result if self.result is not None else f"{self.left}*{self.right}"
+
+    def apply(self, db: Database, registry=None) -> Database:
+        for name in (self.left, self.right):
+            if not db.has_relation(name):
+                raise OperatorApplicationError(
+                    f"product: no relation {name!r} in {db!r}"
+                )
+        if self.left == self.right:
+            raise OperatorApplicationError(
+                "product: self-product requires distinct operand names "
+                f"(got {self.left!r} twice)"
+            )
+        if db.has_relation(self.result_name):
+            raise OperatorApplicationError(
+                f"product: result name {self.result_name!r} already in use"
+            )
+        left_rel = db.relation(self.left)
+        right_rel = db.relation(self.right)
+
+        clashes = left_rel.attribute_set & right_rel.attribute_set
+        used: set[str] = set()
+
+        def qualified(rel: Relation, attr: str) -> str:
+            name = f"{rel.name}.{attr}" if attr in clashes else attr
+            candidate, suffix = name, 2
+            while candidate in used:  # repeated products can re-clash
+                candidate = f"{name}#{suffix}"
+                suffix += 1
+            used.add(candidate)
+            return candidate
+
+        attributes = [qualified(left_rel, a) for a in left_rel.attributes]
+        attributes += [qualified(right_rel, a) for a in right_rel.attributes]
+        rows = [
+            lrow + rrow for lrow in left_rel.rows for rrow in right_rel.rows
+        ]
+        product = Relation(self.result_name, attributes, rows)
+        return db.with_relation(product, replace=False)
+
+    def is_applicable(self, db: Database) -> bool:
+        return (
+            self.left != self.right
+            and db.has_relation(self.left)
+            and db.has_relation(self.right)
+            and not db.has_relation(self.result_name)
+        )
+
+    def __str__(self) -> str:
+        if self.result is not None:
+            return f"product({self.left}, {self.right} -> {self.result})"
+        return f"product({self.left}, {self.right})"
+
+    def to_unicode(self) -> str:
+        return f"×({self.left}, {self.right})"

@@ -1,0 +1,138 @@
+"""Mapping expressions: composable pipelines of L operators.
+
+A :class:`MappingExpression` is the artifact TUPELO discovers — the sequence
+of operators transforming source instances into target instances (the
+"transformation path" of §2.3).  Expressions are immutable, comparable,
+pretty-printable in both the textual syntax and the paper's unicode
+notation, and executable against any database instance of the source
+schema.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..relational.database import Database
+from .base import Operator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..semantics.functions import FunctionRegistry
+
+
+class MappingExpression:
+    """An ordered pipeline of L operators.
+
+    Args:
+        operators: the operators, applied left to right.
+    """
+
+    __slots__ = ("_operators",)
+
+    def __init__(self, operators: Iterable[Operator] = ()) -> None:
+        self._operators: tuple[Operator, ...] = tuple(operators)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def operators(self) -> tuple[Operator, ...]:
+        """The pipeline's operators in application order."""
+        return self._operators
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self._operators)
+
+    def __getitem__(self, index: int) -> Operator:
+        return self._operators[index]
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether the pipeline is empty (the identity mapping)."""
+        return not self._operators
+
+    # -- algebra ------------------------------------------------------------------
+
+    def then(self, operator: Operator) -> "MappingExpression":
+        """A new expression with *operator* appended."""
+        return MappingExpression(self._operators + (operator,))
+
+    def compose(self, other: "MappingExpression") -> "MappingExpression":
+        """Sequential composition: apply self, then *other*."""
+        return MappingExpression(self._operators + other.operators)
+
+    def prefix(self, length: int) -> "MappingExpression":
+        """The first *length* operators as an expression."""
+        return MappingExpression(self._operators[:length])
+
+    # -- execution ------------------------------------------------------------------
+
+    def apply(
+        self, db: Database, registry: "FunctionRegistry | None" = None
+    ) -> Database:
+        """Execute the pipeline on *db*.
+
+        *registry* resolves λ function symbols; pipelines without λ run
+        without one.
+        """
+        for operator in self._operators:
+            db = operator.apply(db, registry)
+        return db
+
+    def trace(
+        self, db: Database, registry: "FunctionRegistry | None" = None
+    ) -> list[Database]:
+        """Execute and return every intermediate database (R1, R2, ... of
+        Example 2), starting with the input."""
+        states = [db]
+        for operator in self._operators:
+            db = operator.apply(db, registry)
+            states.append(db)
+        return states
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return "\n".join(str(op) for op in self._operators)
+
+    def to_unicode(self) -> str:
+        """Paper-style rendering, one numbered step per line (Example 2)."""
+        lines = []
+        for i, op in enumerate(self._operators, start=1):
+            lines.append(f"R{i} := {op.to_unicode()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"MappingExpression({len(self._operators)} ops)"
+
+    # -- comparisons -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MappingExpression):
+            return NotImplemented
+        return self._operators == other.operators
+
+    def __hash__(self) -> int:
+        return hash(self._operators)
+
+
+def expression_of(*operators: Operator) -> MappingExpression:
+    """Convenience constructor: ``expression_of(op1, op2, ...)``."""
+    return MappingExpression(operators)
+
+
+def equivalent_on(
+    left: MappingExpression,
+    right: MappingExpression,
+    instances: Sequence[Database],
+    registry: "FunctionRegistry | None" = None,
+) -> bool:
+    """Whether two expressions agree on every instance in *instances*.
+
+    Expression equivalence is undecidable in general; this is the practical
+    example-based check used by tests and ablations.
+    """
+    return all(
+        left.apply(db, registry) == right.apply(db, registry) for db in instances
+    )

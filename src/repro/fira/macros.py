@@ -1,0 +1,116 @@
+"""PIVOT / UNPIVOT macros over the language L.
+
+The Wyss–Robertson papers the language L derives from characterise the
+relational PIVOT and UNPIVOT restructurings as compositions of L's
+primitive operators.  These helpers build those standard compositions, so
+API users can request the whole restructuring in one call while the
+resulting :class:`~repro.fira.expression.MappingExpression` stays a plain
+pipeline of primitives (searchable, printable, SQL-compilable):
+
+* ``pivot`` — Example 2's core: ``↑name/value`` then drop the two source
+  columns, then ``µkey`` to coalesce the ragged tuples;
+* ``unpivot`` — the inverse: ``↓`` to demote metadata, ``→`` to fetch each
+  named cell, a σ filter keeping only the wanted columns, and drops of the
+  scaffolding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OperatorApplicationError
+from ..relational.database import Database
+from .combine import Merge
+from .dynamic import DEMOTE_ATT_ATTR, DEMOTE_REL_ATTR, Demote, Dereference, Promote
+from .expression import MappingExpression
+from .renames import RenameAttribute
+from .structure import DropAttribute, Select
+
+
+def pivot(
+    relation: str, key: str, name_attr: str, value_attr: str
+) -> MappingExpression:
+    """PIVOT: spread *name_attr*'s values into columns holding *value_attr*.
+
+    ``pivot("Prices", key="Carrier", name_attr="Route", value_attr="Cost")``
+    is exactly Example 2's R1–R3 prefix: promote, drop the two source
+    columns, merge on the key.
+    """
+    if len({key, name_attr, value_attr}) != 3:
+        raise OperatorApplicationError(
+            "pivot requires three distinct attributes "
+            f"(got key={key!r}, name={name_attr!r}, value={value_attr!r})"
+        )
+    return MappingExpression(
+        [
+            Promote(relation, name_attr, value_attr),
+            DropAttribute(relation, name_attr),
+            DropAttribute(relation, value_attr),
+            Merge(relation, key),
+        ]
+    )
+
+
+def unpivot(
+    relation: str,
+    columns: Sequence[str],
+    name_attr: str = "ATT",
+    value_attr: str = "VAL",
+) -> MappingExpression:
+    """UNPIVOT: fold *columns* into (*name_attr*, *value_attr*) data rows.
+
+    Composition: demote (``↓``) exposes every attribute name in the
+    reserved ``$ATT`` column; dereference fetches the named cell; selection
+    keeps only the rows naming one of *columns* (σ is post-processing in
+    the paper, which is exactly what this macro is); finally the folded
+    source columns and scaffolding are dropped and the reserved columns
+    renamed to the requested names.
+
+    Note: like SQL's UNPIVOT, rows whose folded cell is NULL are dropped by
+    the dereference+selection combination only if the NULL row's name
+    column still matches; NULL cells yield NULL values in *value_attr*.
+    """
+    columns = list(columns)
+    if not columns:
+        raise OperatorApplicationError("unpivot requires at least one column")
+    operators = [Demote(relation), Dereference(relation, DEMOTE_ATT_ATTR, value_attr)]
+    # keep only the rows that name one of the folded columns: a disjunction
+    # expressed as per-value selections is not available, so we instead drop
+    # the *other* attribute names by selecting each wanted one into place —
+    # done with one Select when a single column folds, else via the generic
+    # keep-filter below.
+    operators.append(_KeepNames(relation, DEMOTE_ATT_ATTR, tuple(columns)))
+    for column in columns:
+        operators.append(DropAttribute(relation, column))
+    operators.append(DropAttribute(relation, DEMOTE_REL_ATTR))
+    operators.append(RenameAttribute(relation, DEMOTE_ATT_ATTR, name_attr))
+    return MappingExpression(operators)
+
+
+class _KeepNames(Select):
+    """Selection keeping rows whose *attribute* value is in a name set.
+
+    A tiny generalisation of σ (disjunction of equalities) used only by the
+    unpivot macro; renders as a comment-friendly textual form and is not
+    part of the searched language.
+    """
+
+    def __init__(self, relation: str, attribute: str, names: tuple[str, ...]):
+        # Select is a frozen dataclass; bypass its __init__ signature
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "value", names)
+
+    def apply(self, db: Database, registry=None) -> Database:
+        rel = self._target(db)
+        names = set(self.value)
+        kept = rel.filter_rows(lambda row: row[self.attribute] in names)
+        return db.with_relation(kept)
+
+    def __str__(self) -> str:
+        names = ", ".join(self.value)
+        return f"# keep rows of {self.relation} where {self.attribute} in {{{names}}}"
+
+    def to_unicode(self) -> str:
+        names = " ∨ ".join(f"{self.attribute}={name}" for name in self.value)
+        return f"σ{{{names}}}({self.relation})"

@@ -1,0 +1,149 @@
+"""Extract a schema matching from a mapping expression (extension).
+
+The paper observes (§2.1) that L "blurs the distinction between schema
+matching and schema mapping since L has simple schema matching (i.e.,
+finding appropriate renamings via ρ) as a special case".  This module makes
+the special case explicit: given a discovered expression, recover the
+classical *matching* artifact — correspondences between source and target
+schema elements — by tracing how each rename/λ transforms names.
+
+This lets TUPELO's output be consumed by tools that expect match results
+(à la the schema-matching systems surveyed in the related work) rather
+than executable pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expression import MappingExpression
+from .renames import RenameAttribute, RenameRelation
+from .semantic import ApplyFunction
+
+
+@dataclass(frozen=True)
+class AttributeMatch:
+    """A correspondence between a source attribute and a target attribute.
+
+    ``via`` is ``"rename"`` for 1-1 matches and the function name for
+    complex (many-to-one) matches; complex matches carry every source
+    attribute in ``source_attributes``.
+    """
+
+    source_attributes: tuple[str, ...]
+    target_attribute: str
+    relation: str
+    via: str = "rename"
+
+    def __str__(self) -> str:
+        sources = ", ".join(self.source_attributes)
+        arrow = "<->" if self.via == "rename" else f"--[{self.via}]->"
+        return f"{self.relation}: {sources} {arrow} {self.target_attribute}"
+
+
+@dataclass(frozen=True)
+class RelationMatch:
+    """A correspondence between a source and a target relation name."""
+
+    source_relation: str
+    target_relation: str
+
+    def __str__(self) -> str:
+        return f"{self.source_relation} <-> {self.target_relation}"
+
+
+@dataclass(frozen=True)
+class SchemaMatching:
+    """The matching induced by a mapping expression."""
+
+    attribute_matches: tuple[AttributeMatch, ...]
+    relation_matches: tuple[RelationMatch, ...]
+
+    def __str__(self) -> str:
+        lines = [str(m) for m in self.relation_matches]
+        lines += [str(m) for m in self.attribute_matches]
+        return "\n".join(lines)
+
+    @property
+    def is_pure_matching(self) -> bool:
+        """Whether every attribute match is a simple 1-1 rename."""
+        return all(m.via == "rename" for m in self.attribute_matches)
+
+
+def extract_matching(expression: MappingExpression) -> SchemaMatching:
+    """Trace renames and λ applications through *expression*.
+
+    Attribute renames are composed transitively (A→Temp then Temp→B yields
+    A↔B) and reported against the relation's *original* name even if the
+    relation is renamed later in the pipeline.
+    """
+    # current relation name -> original relation name
+    relation_origin: dict[str, str] = {}
+    # (original relation, current attribute) -> original source attributes
+    attribute_origin: dict[tuple[str, str], tuple[str, ...]] = {}
+    attribute_matches: list[AttributeMatch] = []
+    lambda_outputs: list[AttributeMatch] = []
+    relation_matches: list[RelationMatch] = []
+
+    def origin_of(relation: str) -> str:
+        return relation_origin.get(relation, relation)
+
+    def sources_of(relation: str, attribute: str) -> tuple[str, ...]:
+        return attribute_origin.get((relation, attribute), (attribute,))
+
+    for op in expression:
+        if isinstance(op, RenameRelation):
+            relation_origin[op.new] = origin_of(op.old)
+            relation_origin.pop(op.old, None)
+            # re-key attribute origins to the new current name
+            moved = {
+                key: value
+                for key, value in attribute_origin.items()
+                if key[0] == op.old
+            }
+            for (old_rel, attr), value in moved.items():
+                del attribute_origin[(old_rel, attr)]
+                attribute_origin[(op.new, attr)] = value
+        elif isinstance(op, RenameAttribute):
+            sources = sources_of(op.relation, op.old)
+            attribute_origin.pop((op.relation, op.old), None)
+            attribute_origin[(op.relation, op.new)] = sources
+        elif isinstance(op, ApplyFunction):
+            sources = tuple(
+                source
+                for attr in op.inputs
+                for source in sources_of(op.relation, attr)
+            )
+            attribute_origin[(op.relation, op.output)] = sources
+            lambda_outputs.append(
+                AttributeMatch(
+                    source_attributes=sources,
+                    target_attribute=op.output,
+                    relation=origin_of(op.relation),
+                    via=op.function,
+                )
+            )
+
+    for (relation, attribute), sources in sorted(attribute_origin.items()):
+        if sources == (attribute,):
+            continue  # identity
+        if any(m.target_attribute == attribute and m.relation == origin_of(relation)
+               for m in lambda_outputs):
+            continue  # reported as a complex match below
+        attribute_matches.append(
+            AttributeMatch(
+                source_attributes=sources,
+                target_attribute=attribute,
+                relation=origin_of(relation),
+            )
+        )
+    attribute_matches.extend(lambda_outputs)
+
+    for current, original in sorted(relation_origin.items()):
+        if current != original:
+            relation_matches.append(RelationMatch(original, current))
+
+    return SchemaMatching(
+        attribute_matches=tuple(attribute_matches),
+        relation_matches=tuple(relation_matches),
+    )

@@ -1,0 +1,177 @@
+"""Textual syntax for mapping expressions.
+
+Round-trips with ``str(op)`` on every operator.  One operator per line (or
+semicolon-separated); blank lines and ``#`` comments are ignored.
+
+Grammar (informal)::
+
+    rename_att[Rel](Old -> New)
+    rename_rel(Old -> New)
+    drop[Rel](Attr)
+    promote[Rel](NameAttr; ValueAttr)
+    demote[Rel]()
+    deref[Rel](PointerAttr -> NewAttr)
+    partition[Rel](Attr)
+    product(Left, Right)
+    product(Left, Right -> Result)
+    merge[Rel](Attr)
+    apply[Rel](Out <- fn(In1, In2, ...))
+    select[Rel](Attr = 'text')     # or a number, true/false, NULL
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ExpressionParseError
+from ..relational.csvio import parse_value
+from ..relational.types import Value
+from .base import Operator
+from .combine import CartesianProduct, Merge
+from .dynamic import Demote, Dereference, Partition, Promote
+from .expression import MappingExpression
+from .renames import RenameAttribute, RenameRelation
+from .semantic import ApplyFunction
+from .structure import DropAttribute, Select
+
+_NAME = r"[^\[\]();,]+?"
+
+_PATTERNS: list[tuple[re.Pattern[str], object]] = []
+
+
+def _register(pattern: str):
+    def decorator(builder):
+        _PATTERNS.append((re.compile(pattern), builder))
+        return builder
+
+    return decorator
+
+
+def _strip(text: str) -> str:
+    return text.strip()
+
+
+@_register(rf"^rename_att\[({_NAME})\]\(({_NAME})->({_NAME})\)$")
+def _build_rename_att(m: re.Match[str]) -> Operator:
+    return RenameAttribute(_strip(m.group(1)), _strip(m.group(2)), _strip(m.group(3)))
+
+
+@_register(rf"^rename_rel\(({_NAME})->({_NAME})\)$")
+def _build_rename_rel(m: re.Match[str]) -> Operator:
+    return RenameRelation(_strip(m.group(1)), _strip(m.group(2)))
+
+
+@_register(rf"^drop\[({_NAME})\]\(({_NAME})\)$")
+def _build_drop(m: re.Match[str]) -> Operator:
+    return DropAttribute(_strip(m.group(1)), _strip(m.group(2)))
+
+
+@_register(rf"^promote\[({_NAME})\]\(({_NAME});({_NAME})\)$")
+def _build_promote(m: re.Match[str]) -> Operator:
+    return Promote(_strip(m.group(1)), _strip(m.group(2)), _strip(m.group(3)))
+
+
+@_register(rf"^demote\[({_NAME})\]\(\)$")
+def _build_demote(m: re.Match[str]) -> Operator:
+    return Demote(_strip(m.group(1)))
+
+
+@_register(rf"^deref\[({_NAME})\]\(({_NAME})->({_NAME})\)$")
+def _build_deref(m: re.Match[str]) -> Operator:
+    return Dereference(_strip(m.group(1)), _strip(m.group(2)), _strip(m.group(3)))
+
+
+@_register(rf"^partition\[({_NAME})\]\(({_NAME})\)$")
+def _build_partition(m: re.Match[str]) -> Operator:
+    return Partition(_strip(m.group(1)), _strip(m.group(2)))
+
+
+@_register(rf"^product\(({_NAME}),({_NAME})->({_NAME})\)$")
+def _build_product_named(m: re.Match[str]) -> Operator:
+    return CartesianProduct(_strip(m.group(1)), _strip(m.group(2)), _strip(m.group(3)))
+
+
+@_register(rf"^product\(({_NAME}),({_NAME})\)$")
+def _build_product(m: re.Match[str]) -> Operator:
+    return CartesianProduct(_strip(m.group(1)), _strip(m.group(2)))
+
+
+@_register(rf"^merge\[({_NAME})\]\(({_NAME})\)$")
+def _build_merge(m: re.Match[str]) -> Operator:
+    return Merge(_strip(m.group(1)), _strip(m.group(2)))
+
+
+@_register(rf"^apply\[({_NAME})\]\(({_NAME})<-({_NAME})\((.*)\)\)$")
+def _build_apply(m: re.Match[str]) -> Operator:
+    inputs = tuple(
+        _strip(part) for part in m.group(4).split(",") if _strip(part)
+    )
+    return ApplyFunction(
+        _strip(m.group(1)),
+        _strip(m.group(3)),
+        inputs,
+        _strip(m.group(2)),
+    )
+
+
+@_register(rf"^select\[({_NAME})\]\(({_NAME})=(.+)\)$")
+def _build_select(m: re.Match[str]) -> Operator:
+    return Select(_strip(m.group(1)), _strip(m.group(2)), _parse_literal(m.group(3)))
+
+
+def _parse_literal(text: str) -> Value:
+    """Parse the right-hand side of a select condition."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    return parse_value(text)
+
+
+def parse_operator(text: str) -> Operator:
+    """Parse a single operator line.
+
+    Raises:
+        ExpressionParseError: if no operator pattern matches.
+    """
+    stripped = text.strip()
+    for pattern, builder in _PATTERNS:
+        match = pattern.match(stripped)
+        if match is not None:
+            return builder(match)
+    raise ExpressionParseError(f"cannot parse operator {stripped!r}", text=text)
+
+
+def parse_expression(text: str) -> MappingExpression:
+    """Parse a multi-line (or ``;``-separated) mapping expression.
+
+    Blank lines and ``#`` comments are skipped.
+    """
+    operators = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        operators.extend(_parse_line(line))
+    return MappingExpression(operators)
+
+
+def _parse_line(line: str) -> list[Operator]:
+    """Parse one physical line, honouring ';' both as an operator separator
+    and as the promote argument separator (inside parentheses)."""
+    operators = []
+    depth = 0
+    current: list[str] = []
+    for char in line:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == ";" and depth == 0:
+            piece = "".join(current).strip()
+            if piece:
+                operators.append(parse_operator(piece))
+            current = []
+        else:
+            current.append(char)
+    piece = "".join(current).strip()
+    if piece:
+        operators.append(parse_operator(piece))
+    return operators

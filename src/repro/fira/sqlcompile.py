@@ -1,0 +1,242 @@
+"""Compile mapping expressions to SQL scripts.
+
+TUPELO's output is an executable mapping expression; this module renders one
+as a portable SQL script so it can be replayed inside an RDBMS, as the paper
+envisions for TNF-based interoperation (§2.2).
+
+The dynamic operators (promote, partition, dereference) create columns and
+tables whose *names come from data*, so the emitted SQL is necessarily
+instance-directed: the compiler executes the pipeline on the provided source
+instance step by step and materialises the dynamic names it observes.  The
+script is annotated so a reader can see which statements are
+instance-directed.  ``merge`` compiles to a GROUP-BY/MAX coalescing query,
+the standard SQL rendering of the Wyss–Robertson merge when each group holds
+at most one non-NULL value per column (which promote guarantees).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import OperatorApplicationError
+from ..relational.database import Database
+from ..relational.sql import quote_identifier, quote_literal
+from ..relational.types import is_null, value_to_text
+from .base import Operator
+from .combine import CartesianProduct, Merge
+from .dynamic import DEMOTE_ATT_ATTR, DEMOTE_REL_ATTR, Demote, Dereference, Partition, Promote
+from .expression import MappingExpression
+from .renames import RenameAttribute, RenameRelation
+from .semantic import ApplyFunction
+from .structure import DropAttribute, Select
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..semantics.functions import FunctionRegistry
+
+
+def _recreate(relation: str, select_body: str) -> list[str]:
+    """CREATE-new / DROP-old / RENAME dance replacing *relation* in place."""
+    rel = quote_identifier(relation)
+    tmp = quote_identifier(relation + "__tupelo_tmp")
+    return [
+        f"CREATE TABLE {tmp} AS {select_body};",
+        f"DROP TABLE {rel};",
+        f"ALTER TABLE {tmp} RENAME TO {rel};",
+    ]
+
+
+def compile_operator(op: Operator, db: Database) -> list[str]:
+    """SQL statements implementing *op* on a database in the state *db*.
+
+    *db* is the database **before** the operator runs; dynamic operators
+    inspect it to materialise data-dependent names.
+    """
+    if isinstance(op, RenameAttribute):
+        return [
+            f"ALTER TABLE {quote_identifier(op.relation)} "
+            f"RENAME COLUMN {quote_identifier(op.old)} TO {quote_identifier(op.new)};"
+        ]
+    if isinstance(op, RenameRelation):
+        return [
+            f"ALTER TABLE {quote_identifier(op.old)} "
+            f"RENAME TO {quote_identifier(op.new)};"
+        ]
+    if isinstance(op, DropAttribute):
+        return [
+            f"ALTER TABLE {quote_identifier(op.relation)} "
+            f"DROP COLUMN {quote_identifier(op.attribute)};"
+        ]
+    if isinstance(op, Select):
+        return [
+            f"DELETE FROM {quote_identifier(op.relation)} "
+            f"WHERE {quote_identifier(op.attribute)} IS NULL "
+            f"OR {quote_identifier(op.attribute)} <> {quote_literal(op.value)};"
+            if not is_null(op.value)
+            else f"DELETE FROM {quote_identifier(op.relation)} "
+            f"WHERE {quote_identifier(op.attribute)} IS NOT NULL;"
+        ]
+    if isinstance(op, Promote):
+        return _compile_promote(op, db)
+    if isinstance(op, Demote):
+        return _compile_demote(op, db)
+    if isinstance(op, Dereference):
+        return _compile_dereference(op, db)
+    if isinstance(op, Partition):
+        return _compile_partition(op, db)
+    if isinstance(op, Merge):
+        return _compile_merge(op, db)
+    if isinstance(op, CartesianProduct):
+        return _compile_product(op, db)
+    if isinstance(op, ApplyFunction):
+        return _compile_apply(op)
+    raise OperatorApplicationError(f"no SQL compilation for operator {op!r}")
+
+
+def _compile_promote(op: Promote, db: Database) -> list[str]:
+    rel = db.relation(op.relation)
+    name_pos = rel.attribute_position(op.name_attr)
+    new_names: list[str] = []
+    seen: set[str] = set()
+    for row in rel.sorted_rows():
+        value = row[name_pos]
+        if is_null(value):
+            continue
+        name = value_to_text(value)
+        if name and name not in seen:
+            seen.add(name)
+            new_names.append(name)
+    cases = ", ".join(
+        f"CASE WHEN {quote_identifier(op.name_attr)} = {quote_literal(name)} "
+        f"THEN {quote_identifier(op.value_attr)} END AS {quote_identifier(name)}"
+        for name in new_names
+    )
+    body = f"SELECT *, {cases} FROM {quote_identifier(op.relation)}"
+    return [
+        f"-- promote: column names below come from the data of "
+        f"{op.name_attr!r} (instance-directed)",
+        *_recreate(op.relation, body),
+    ]
+
+
+def _compile_demote(op: Demote, db: Database) -> list[str]:
+    rel = db.relation(op.relation)
+    values = ", ".join(
+        f"({quote_literal(rel.name)}, {quote_literal(attr)})" for attr in rel.attributes
+    )
+    meta = (
+        f"(VALUES {values}) AS __meta"
+        f"({quote_identifier(DEMOTE_REL_ATTR)}, {quote_identifier(DEMOTE_ATT_ATTR)})"
+    )
+    body = (
+        f"SELECT {quote_identifier(op.relation)}.*, __meta.* "
+        f"FROM {quote_identifier(op.relation)} CROSS JOIN {meta}"
+    )
+    return _recreate(op.relation, body)
+
+
+def _compile_dereference(op: Dereference, db: Database) -> list[str]:
+    rel = db.relation(op.relation)
+    whens = " ".join(
+        f"WHEN {quote_identifier(op.pointer_attr)} = {quote_literal(attr)} "
+        f"THEN CAST({quote_identifier(attr)} AS TEXT)"
+        for attr in rel.attributes
+    )
+    body = (
+        f"SELECT *, CASE {whens} END AS {quote_identifier(op.new_attr)} "
+        f"FROM {quote_identifier(op.relation)}"
+    )
+    return _recreate(op.relation, body)
+
+
+def _compile_partition(op: Partition, db: Database) -> list[str]:
+    rel = db.relation(op.relation)
+    pos = rel.attribute_position(op.attribute)
+    names: list = []
+    seen = set()
+    for row in rel.sorted_rows():
+        value = row[pos]
+        if value not in seen:
+            seen.add(value)
+            names.append(value)
+    statements = [
+        f"-- partition: table names below come from the data of "
+        f"{op.attribute!r} (instance-directed)"
+    ]
+    for value in names:
+        table = value_to_text(value)
+        statements.append(
+            f"CREATE TABLE {quote_identifier(table)} AS "
+            f"SELECT * FROM {quote_identifier(op.relation)} "
+            f"WHERE {quote_identifier(op.attribute)} = {quote_literal(value)};"
+        )
+    statements.append(f"DROP TABLE {quote_identifier(op.relation)};")
+    return statements
+
+
+def _compile_merge(op: Merge, db: Database) -> list[str]:
+    rel = db.relation(op.relation)
+    others = [a for a in rel.attributes if a != op.attribute]
+    aggregates = ", ".join(
+        f"MAX({quote_identifier(a)}) AS {quote_identifier(a)}" for a in others
+    )
+    body = (
+        f"SELECT {quote_identifier(op.attribute)}, {aggregates} "
+        f"FROM {quote_identifier(op.relation)} "
+        f"GROUP BY {quote_identifier(op.attribute)}"
+    )
+    return [
+        "-- merge: GROUP BY/MAX coalescing assumes one non-NULL value per "
+        "column per group (guaranteed after promote)",
+        *_recreate(op.relation, body),
+    ]
+
+
+def _compile_product(op: CartesianProduct, db: Database) -> list[str]:
+    left = db.relation(op.left)
+    right = db.relation(op.right)
+    clashes = left.attribute_set & right.attribute_set
+
+    def select_list(rel, alias: str) -> str:
+        parts = []
+        for attr in rel.attributes:
+            name = f"{rel.name}.{attr}" if attr in clashes else attr
+            parts.append(f"{alias}.{quote_identifier(attr)} AS {quote_identifier(name)}")
+        return ", ".join(parts)
+
+    body = (
+        f"SELECT {select_list(left, 'l')}, {select_list(right, 'r')} "
+        f"FROM {quote_identifier(op.left)} l CROSS JOIN {quote_identifier(op.right)} r"
+    )
+    return [f"CREATE TABLE {quote_identifier(op.result_name)} AS {body};"]
+
+
+def _compile_apply(op: ApplyFunction) -> list[str]:
+    args = ", ".join(quote_identifier(a) for a in op.inputs)
+    body = (
+        f"SELECT *, {op.function}({args}) AS {quote_identifier(op.output)} "
+        f"FROM {quote_identifier(op.relation)}"
+    )
+    return [
+        f"-- apply: {op.function!r} must be available as a UDF / stored procedure",
+        *_recreate(op.relation, body),
+    ]
+
+
+def compile_expression(
+    expression: MappingExpression,
+    source: Database,
+    registry: "FunctionRegistry | None" = None,
+) -> str:
+    """Compile a whole pipeline to a SQL script, step by step.
+
+    The pipeline is executed on *source* along the way so that dynamic
+    operators can materialise the names they create.
+    """
+    lines: list[str] = ["-- TUPELO mapping expression compiled to SQL"]
+    db = source
+    for i, op in enumerate(expression, start=1):
+        lines.append(f"-- step {i}: {op}")
+        lines.extend(compile_operator(op, db))
+        db = op.apply(db, registry)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,88 @@
+"""Column-level structural operators: drop (π̄) and selection (σ).
+
+Selection is *not* part of the searched language — the paper treats σ as a
+post-processing step "to filter mapping results according to external
+criteria, since it is known that generalizing selection conditions is a
+nontrivial problem" (§2.1).  It is provided here so complete executable
+pipelines can be expressed and run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OperatorApplicationError
+from ..relational.database import Database
+from ..relational.types import Value, is_null
+from .base import RelationOperator
+
+
+@dataclass(frozen=True)
+class DropAttribute(RelationOperator):
+    """π̄A — drop column A from a relation (projection complement).
+
+    Example 2 (step R2): ``π̄Route(π̄Cost(R1))`` removes the promoted-away
+    columns.  Dropping the last remaining attribute is not allowed.
+    """
+
+    relation: str
+    attribute: str
+
+    keyword = "drop"
+
+    def apply(self, db: Database, registry=None) -> Database:
+        rel = self._target(db)
+        if not rel.has_attribute(self.attribute):
+            raise OperatorApplicationError(
+                f"drop: {self.relation!r} has no attribute {self.attribute!r}"
+            )
+        if rel.arity == 1:
+            raise OperatorApplicationError(
+                f"drop: {self.attribute!r} is the only attribute of {self.relation!r}"
+            )
+        return db.with_relation(rel.drop_attribute(self.attribute))
+
+    def is_applicable(self, db: Database) -> bool:
+        if not db.has_relation(self.relation):
+            return False
+        rel = db.relation(self.relation)
+        return rel.has_attribute(self.attribute) and rel.arity > 1
+
+    def __str__(self) -> str:
+        return f"drop[{self.relation}]({self.attribute})"
+
+    def to_unicode(self) -> str:
+        return f"π̄{{{self.attribute}}}({self.relation})"
+
+
+@dataclass(frozen=True)
+class Select(RelationOperator):
+    """σ — keep only tuples whose *attribute* equals *value*.
+
+    Post-processing only; never proposed by the search successor generator.
+    """
+
+    relation: str
+    attribute: str
+    value: Value
+
+    keyword = "select"
+
+    def apply(self, db: Database, registry=None) -> Database:
+        rel = self._target(db)
+        if not rel.has_attribute(self.attribute):
+            raise OperatorApplicationError(
+                f"select: {self.relation!r} has no attribute {self.attribute!r}"
+            )
+        position = rel.attribute_position(self.attribute)
+        if is_null(self.value):
+            kept = [row for row in rel.rows if is_null(row[position])]
+        else:
+            kept = [row for row in rel.rows if row[position] == self.value]
+        return db.with_relation(rel.with_rows(kept))
+
+    def __str__(self) -> str:
+        return f"select[{self.relation}]({self.attribute} = {self.value!r})"
+
+    def to_unicode(self) -> str:
+        return f"σ{{{self.attribute}={self.value!r}}}({self.relation})"

@@ -1,0 +1,56 @@
+"""Search heuristics (§3 of the paper): h0–h3, Levenshtein, term-vector."""
+
+from .base import Heuristic, ScaledHeuristic, round_half_up
+from .hybrid import HybridHeuristic
+from .registry import (
+    EXTENSION_HEURISTIC_NAMES,
+    HEURISTIC_CLASSES,
+    HEURISTIC_NAMES,
+    PAPER_SCALING_CONSTANTS,
+    default_k,
+    heuristic_factory,
+    make_heuristic,
+)
+from .setbased import (
+    BlindHeuristic,
+    CrossLevelHeuristic,
+    MaxSetHeuristic,
+    MissingTokensHeuristic,
+)
+from .stringview import LevenshteinHeuristic, levenshtein
+from .vector import (
+    CosineHeuristic,
+    EuclideanHeuristic,
+    NormalizedEuclideanHeuristic,
+    cosine_similarity,
+    euclidean_distance,
+    term_vector,
+    vector_norm,
+)
+
+__all__ = [
+    "Heuristic",
+    "ScaledHeuristic",
+    "round_half_up",
+    "HybridHeuristic",
+    "EXTENSION_HEURISTIC_NAMES",
+    "HEURISTIC_CLASSES",
+    "HEURISTIC_NAMES",
+    "PAPER_SCALING_CONSTANTS",
+    "default_k",
+    "heuristic_factory",
+    "make_heuristic",
+    "BlindHeuristic",
+    "CrossLevelHeuristic",
+    "MaxSetHeuristic",
+    "MissingTokensHeuristic",
+    "LevenshteinHeuristic",
+    "levenshtein",
+    "CosineHeuristic",
+    "EuclideanHeuristic",
+    "NormalizedEuclideanHeuristic",
+    "cosine_similarity",
+    "euclidean_distance",
+    "term_vector",
+    "vector_norm",
+]

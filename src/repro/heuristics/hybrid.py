@@ -1,0 +1,43 @@
+"""Hybrid content+structure heuristic (extension beyond the paper).
+
+The paper's conclusion asks: "The Levenshtein, Euclidean, and Cosine
+Similarity based search heuristics mostly focus on the content of database
+states.  Successful heuristics must measure both content and structure.
+Is there a good multi-purpose search heuristic?"
+
+:class:`HybridHeuristic` is our answer attempt: the pointwise maximum of
+
+* ``h1`` — the structural token-level count of missing relation/attribute/
+  value names (exact about *what* is missing), and
+* the scaled cosine heuristic — the content-distribution view (sensitive
+  to *where* tokens sit, e.g. distinguishing correct from incorrect
+  renames via (REL, ATT, VALUE) co-occurrence).
+
+Taking the max keeps whichever signal is currently more informative:
+h1 dominates early (many tokens missing), cosine dominates on plateaus
+where all tokens are present but mis-placed.  The
+``bench_extension_hybrid_heuristic.py`` bench evaluates it across all
+three experiment workloads.
+"""
+
+from __future__ import annotations
+
+from ..relational.database import Database
+from .base import ScaledHeuristic
+from .setbased import MissingTokensHeuristic
+from .vector import CosineHeuristic
+
+
+class HybridHeuristic(ScaledHeuristic):
+    """max(h1, k·(1 − cosine)) — structure and content combined."""
+
+    name = "hybrid"
+    default_k = 12.0
+
+    def __init__(self, target: Database, k: float | None = None) -> None:
+        super().__init__(target, k)
+        self._h1 = MissingTokensHeuristic(target)
+        self._cosine = CosineHeuristic(target, k=self.k)
+
+    def estimate(self, state: Database) -> int:
+        return max(self._h1.estimate(state), self._cosine.estimate(state))

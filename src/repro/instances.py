@@ -1,0 +1,161 @@
+"""Semi-automated critical-instance extraction (paper §2.2).
+
+TUPELO's inputs are *critical instances*: small example databases that
+illustrate the same information under the source and the target schema.
+The paper envisions eliciting them through a GUI, but also notes that
+"much of the process of generating critical instances can be
+semi-automated using techniques developed for entity/duplicate
+identification and record linkage" (citing Bilke & Naumann's
+duplicate-based schema matching).
+
+This module implements that semi-automation for the common case where the
+two *full* databases share some entities: rows are compared by the overlap
+of their rendered value sets (a Jaccard score — the standard record-linkage
+similarity over opaque tuples), aligned greedily one-to-one, and the best
+few alignments per relation pair are kept as the critical instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .relational.database import Database
+from .relational.relation import Relation, Row
+from .relational.types import is_null, value_to_text
+
+
+@dataclass(frozen=True)
+class RowAlignment:
+    """One aligned row pair across the two databases."""
+
+    source_relation: str
+    source_row: Row
+    target_relation: str
+    target_row: Row
+    score: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source_relation} ~ {self.target_relation} "
+            f"(score {self.score:.2f})"
+        )
+
+
+def row_value_texts(relation: Relation, row: Row) -> frozenset[str]:
+    """The rendered non-NULL value set of a row (the linkage signature)."""
+    return frozenset(
+        value_to_text(value) for value in row if not is_null(value)
+    )
+
+
+def row_similarity(left: frozenset[str], right: frozenset[str]) -> float:
+    """Jaccard similarity of two row signatures."""
+    if not left and not right:
+        return 0.0
+    union = left | right
+    return len(left & right) / len(union)
+
+
+def align_rows(
+    source: Database,
+    target: Database,
+    min_score: float = 0.2,
+) -> list[RowAlignment]:
+    """Greedy one-to-one alignment of rows across the two databases.
+
+    All cross-relation row pairs are scored; pairs are accepted best-first,
+    each row participating at most once.  Pairs below *min_score* are
+    discarded.  Deterministic: ties break on relation/row order.
+    """
+    candidates: list[tuple[float, int, RowAlignment]] = []
+    tick = 0
+    for source_rel in source:
+        source_rows = [
+            (row, row_value_texts(source_rel, row))
+            for row in source_rel.sorted_rows()
+        ]
+        for target_rel in target:
+            for target_row in target_rel.sorted_rows():
+                target_sig = row_value_texts(target_rel, target_row)
+                for source_row, source_sig in source_rows:
+                    score = row_similarity(source_sig, target_sig)
+                    if score >= min_score:
+                        tick += 1
+                        candidates.append(
+                            (
+                                score,
+                                -tick,
+                                RowAlignment(
+                                    source_rel.name,
+                                    source_row,
+                                    target_rel.name,
+                                    target_row,
+                                    score,
+                                ),
+                            )
+                        )
+    candidates.sort(key=lambda item: (-item[0], -item[1]))
+
+    used_source: set[tuple[str, Row]] = set()
+    used_target: set[tuple[str, Row]] = set()
+    accepted: list[RowAlignment] = []
+    for _score, _tick, alignment in candidates:
+        source_key = (alignment.source_relation, alignment.source_row)
+        target_key = (alignment.target_relation, alignment.target_row)
+        if source_key in used_source or target_key in used_target:
+            continue
+        used_source.add(source_key)
+        used_target.add(target_key)
+        accepted.append(alignment)
+    return accepted
+
+
+def extract_critical_instances(
+    source: Database,
+    target: Database,
+    per_relation: int = 2,
+    min_score: float = 0.2,
+) -> tuple[Database, Database]:
+    """Build critical instances from the best-aligned rows.
+
+    Keeps at most *per_relation* aligned rows per target relation (critical
+    instances should be succinct — a couple of Rosetta-Stone rows per
+    relation suffice for search), then assembles the selected rows back
+    into a pair of small databases.
+
+    Raises:
+        ValueError: if no rows align above *min_score* (the databases share
+            no recognisable entities, so no Rosetta Stone exists).
+    """
+    alignments = align_rows(source, target, min_score=min_score)
+    kept: list[RowAlignment] = []
+    per_target: dict[str, int] = {}
+    for alignment in alignments:
+        count = per_target.get(alignment.target_relation, 0)
+        if count >= per_relation:
+            continue
+        per_target[alignment.target_relation] = count + 1
+        kept.append(alignment)
+    if not kept:
+        raise ValueError(
+            "no rows align across the databases; critical instances must "
+            "illustrate shared information (the Rosetta Stone principle)"
+        )
+
+    source_rows: dict[str, set[Row]] = {}
+    target_rows: dict[str, set[Row]] = {}
+    for alignment in kept:
+        source_rows.setdefault(alignment.source_relation, set()).add(
+            alignment.source_row
+        )
+        target_rows.setdefault(alignment.target_relation, set()).add(
+            alignment.target_row
+        )
+
+    def shrink(db: Database, selected: dict[str, set[Row]]) -> Database:
+        return Database(
+            db.relation(name).with_rows(rows)
+            for name, rows in sorted(selected.items())
+        )
+
+    return shrink(source, source_rows), shrink(target, target_rows)

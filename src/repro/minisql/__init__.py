@@ -1,0 +1,22 @@
+"""Mini-SQL: parse and execute the SQL the TUPELO compiler emits.
+
+This closes the interoperability loop the paper sketches in §2.2: mapping
+expressions compile to SQL (:mod:`repro.fira.sqlcompile`) and this package
+executes those scripts against in-memory relations, so the compilation can
+be verified end-to-end — ``run_script(compile_expression(e, db), db)``
+must contain ``e.apply(db)``.
+"""
+
+from .engine import MiniSqlEngine, SqlExecutionError, run_script
+from .lexer import SqlSyntaxError, tokenize
+from .parser import parse_script, parse_select
+
+__all__ = [
+    "MiniSqlEngine",
+    "SqlExecutionError",
+    "run_script",
+    "SqlSyntaxError",
+    "tokenize",
+    "parse_script",
+    "parse_select",
+]

@@ -1,0 +1,141 @@
+"""Tokenizer for the mini-SQL dialect.
+
+The dialect is exactly what :mod:`repro.fira.sqlcompile` and
+:mod:`repro.relational.sql` emit: DDL (CREATE/DROP/ALTER), INSERT ...
+VALUES, DELETE ... WHERE, and CREATE TABLE AS SELECT with CASE/CAST/
+functions/GROUP BY/CROSS JOIN/VALUES/ROW_NUMBER.  Comments (``--``) run to
+end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import TupeloError
+
+
+class SqlSyntaxError(TupeloError):
+    """The mini-SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+#: token kinds
+IDENT = "IDENT"          # bare identifier or keyword (upper-cased in .norm)
+QIDENT = "QIDENT"        # "quoted identifier"
+STRING = "STRING"        # 'string literal'
+NUMBER = "NUMBER"        # integer or float literal
+SYMBOL = "SYMBOL"        # punctuation / operators
+END = "END"              # end of input
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def norm(self) -> str:
+        """Case-normalised text (keywords compare upper-case)."""
+        return self.text.upper() if self.kind == IDENT else self.text
+
+
+_SYMBOLS = ("<>", "||", "(", ")", ",", ";", ".", "*", "=")
+
+_BARE_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_BARE_BODY = _BARE_START | set("0123456789$")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if char == '"':
+            end = i + 1
+            parts = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError("unterminated quoted identifier", i)
+                if text[end] == '"':
+                    if end + 1 < length and text[end + 1] == '"':
+                        parts.append('"')
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            yield Token(QIDENT, "".join(parts), i)
+            i = end + 1
+            continue
+        if char == "'":
+            end = i + 1
+            parts = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            yield Token(STRING, "".join(parts), i)
+            i = end + 1
+            continue
+        if char.isdigit() or (
+            char == "-" and i + 1 < length and text[i + 1].isdigit()
+        ):
+            end = i + 1
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # a dot not followed by a digit is a qualifier separator
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            yield Token(NUMBER, text[i:end], i)
+            i = end
+            continue
+        matched_symbol = None
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                matched_symbol = symbol
+                break
+        if matched_symbol is not None:
+            yield Token(SYMBOL, matched_symbol, i)
+            i += len(matched_symbol)
+            continue
+        if char in _BARE_START or char == "$":
+            end = i + 1
+            while end < length and text[end] in _BARE_BODY:
+                end += 1
+            yield Token(IDENT, text[i:end], i)
+            i = end
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", i)
+    yield Token(END, "", length)

@@ -1,0 +1,252 @@
+"""AST nodes for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..relational.types import Value
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string/number/NULL/boolean literal."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference."""
+
+    name: str
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left OP right`` where OP is ``=`` or ``<>``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS [NOT] NULL``."""
+
+    expr: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``AND`` / ``OR`` over two or more operands."""
+
+    op: str  # "AND" | "OR"
+    operands: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """Logical negation."""
+
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class CaseWhen:
+    """A searched CASE expression (no ELSE -> NULL)."""
+
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    default: "Expr | None" = None
+
+
+@dataclass(frozen=True)
+class Cast:
+    """``CAST(expr AS type)`` — only TEXT semantics are implemented."""
+
+    expr: "Expr"
+    type_name: str
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """``fn(arg, ...)`` resolved via the semantic-function registry."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``MAX(col)`` / ``MIN(col)`` / ``COUNT(col|*)`` inside GROUP BY."""
+
+    func: str
+    arg: "Expr | Star"
+
+
+@dataclass(frozen=True)
+class RowNumber:
+    """``ROW_NUMBER() OVER ()`` — 1-based position in deterministic order."""
+
+
+@dataclass(frozen=True)
+class Concat:
+    """``a || b || ...`` string concatenation."""
+
+    parts: tuple["Expr", ...]
+
+
+Expr = Union[
+    Literal,
+    ColumnRef,
+    Comparison,
+    IsNull,
+    BoolOp,
+    NotOp,
+    CaseWhen,
+    Cast,
+    FunctionCall,
+    Aggregate,
+    RowNumber,
+    Concat,
+]
+
+# -- select ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression (or star) with optional alias."""
+
+    expr: Expr | Star
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableSource:
+    """``FROM table [alias]``."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class ValuesSource:
+    """``(VALUES (...), ...) AS alias(col, ...)``."""
+
+    rows: tuple[tuple[Value, ...], ...]
+    alias: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CrossJoin:
+    """``left CROSS JOIN right``."""
+
+    left: "FromClause"
+    right: "FromClause"
+
+
+FromClause = Union[TableSource, ValuesSource, CrossJoin]
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT query (the subset the compiler emits)."""
+
+    items: tuple[SelectItem, ...]
+    source: FromClause
+    where: Expr | None = None
+    group_by: tuple[ColumnRef, ...] = field(default_factory=tuple)
+
+
+# -- statements -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnionAll:
+    """``select UNION ALL select ...`` — row concatenation."""
+
+    selects: tuple[Select, ...]
+
+
+Query = Union[Select, UnionAll]
+
+
+@dataclass(frozen=True)
+class CreateTableAs:
+    name: str
+    select: "Query"
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class RenameTable:
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class RenameColumn:
+    table: str
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class DropColumn:
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None
+
+
+Statement = Union[
+    CreateTableAs,
+    CreateTable,
+    DropTable,
+    RenameTable,
+    RenameColumn,
+    DropColumn,
+    InsertValues,
+    Delete,
+]

@@ -1,0 +1,70 @@
+"""Relational substrate: immutable relations, databases, TNF, I/O, SQL.
+
+This package provides the data model everything else is built on:
+
+* :class:`~repro.relational.relation.Relation` and
+  :class:`~repro.relational.database.Database` — immutable, canonical,
+  hashable values suitable for use as search states;
+* :data:`~repro.relational.types.NULL` — the null sentinel introduced by
+  the dynamic data-metadata operators;
+* Tuple Normal Form (:mod:`repro.relational.tnf`) — the fixed-schema
+  interoperability encoding TUPELO uses internally;
+* CSV I/O (:mod:`repro.relational.csvio`) and SQL rendering
+  (:mod:`repro.relational.sql`).
+"""
+
+from .database import Database
+from .relation import Relation, Row
+from .tnf import (
+    TNF_ATTRIBUTES,
+    database_string,
+    iter_tnf_cells,
+    tnf_decode,
+    tnf_encode,
+    tnf_projections,
+    tnf_triples,
+)
+from .types import NULL, NullType, Value, check_value, is_null, value_to_text
+from .csvio import (
+    database_from_mapping,
+    load_database,
+    load_database_dir,
+    load_relation,
+    parse_value,
+    relation_from_csv,
+    relation_to_csv,
+    save_database,
+    save_relation,
+)
+from .sql import database_to_sql, relation_to_sql, tnf_construction_sql
+
+__all__ = [
+    "Database",
+    "Relation",
+    "Row",
+    "NULL",
+    "NullType",
+    "Value",
+    "check_value",
+    "is_null",
+    "value_to_text",
+    "TNF_ATTRIBUTES",
+    "database_string",
+    "iter_tnf_cells",
+    "tnf_decode",
+    "tnf_encode",
+    "tnf_projections",
+    "tnf_triples",
+    "database_from_mapping",
+    "load_database",
+    "load_database_dir",
+    "load_relation",
+    "parse_value",
+    "relation_from_csv",
+    "relation_to_csv",
+    "save_database",
+    "save_relation",
+    "database_to_sql",
+    "relation_to_sql",
+    "tnf_construction_sql",
+]

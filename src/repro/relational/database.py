@@ -1,0 +1,183 @@
+"""Immutable database values (named collections of relations).
+
+A :class:`Database` is the unit of search in TUPELO: each search state is a
+whole database reached by applying transformation operators to the source
+critical instance.  Databases are canonical and hashable (relations sorted
+by name), so the search engine can deduplicate and compare states directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import NameCollisionError, SchemaError, UnknownRelationError
+from .relation import Relation
+from .types import Value, is_null
+
+
+class Database:
+    """An immutable set of relations keyed by relation name.
+
+    Args:
+        relations: the member relations; duplicate names are rejected.
+    """
+
+    __slots__ = ("_relations", "_hash")
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        by_name: dict[str, Relation] = {}
+        for rel in relations:
+            if not isinstance(rel, Relation):
+                raise SchemaError(f"expected Relation, got {type(rel).__name__}")
+            if rel.name in by_name:
+                raise SchemaError(f"duplicate relation name {rel.name!r} in database")
+            by_name[rel.name] = rel
+        self._relations: tuple[Relation, ...] = tuple(
+            by_name[name] for name in sorted(by_name)
+        )
+        self._hash = hash(self._relations)
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Sequence[Mapping[str, Value]]]
+    ) -> "Database":
+        """Build a database from ``{relation_name: [row_dict, ...]}``."""
+        return cls(Relation.from_dicts(name, rows) for name, rows in data.items())
+
+    @classmethod
+    def single(cls, relation: Relation) -> "Database":
+        """A database holding exactly one relation."""
+        return cls([relation])
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        """Member relations in canonical (name-sorted) order."""
+        return self._relations
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names in sorted order."""
+        return tuple(rel.name for rel in self._relations)
+
+    def relation(self, name: str) -> Relation:
+        """The relation called *name* (raises :class:`UnknownRelationError`)."""
+        for rel in self._relations:
+            if rel.name == name:
+                return rel
+        raise UnknownRelationError(name, self.relation_names)
+
+    def has_relation(self, name: str) -> bool:
+        """Whether a relation called *name* exists."""
+        return any(rel.name == name for rel in self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __bool__(self) -> bool:
+        return bool(self._relations)
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(rel.cardinality for rel in self._relations)
+
+    # -- whole-database views (used heavily by heuristics) ------------------------
+
+    def attribute_names(self) -> frozenset[str]:
+        """Union of attribute names across relations."""
+        names: set[str] = set()
+        for rel in self._relations:
+            names.update(rel.attributes)
+        return frozenset(names)
+
+    def value_set(self, include_null: bool = False) -> frozenset[Value]:
+        """Union of data values across relations."""
+        values: set[Value] = set()
+        for rel in self._relations:
+            values.update(rel.value_set(include_null=include_null))
+        return frozenset(values)
+
+    @property
+    def has_nulls(self) -> bool:
+        """Whether any relation contains a NULL value."""
+        return any(rel.has_nulls for rel in self._relations)
+
+    # -- derivations ---------------------------------------------------------------
+
+    def with_relation(self, relation: Relation, replace: bool = True) -> "Database":
+        """A copy with *relation* added (replacing any same-named member).
+
+        With ``replace=False`` a same-named member raises
+        :class:`NameCollisionError`.
+        """
+        if not replace and self.has_relation(relation.name):
+            raise NameCollisionError(
+                f"relation {relation.name!r} already exists in database"
+            )
+        others = [rel for rel in self._relations if rel.name != relation.name]
+        return Database(others + [relation])
+
+    def with_relations(self, relations: Iterable[Relation]) -> "Database":
+        """A copy with each of *relations* added/replaced in order."""
+        db = self
+        for rel in relations:
+            db = db.with_relation(rel)
+        return db
+
+    def without_relation(self, name: str) -> "Database":
+        """A copy with the named relation removed (raises if absent)."""
+        self.relation(name)  # precise error if absent
+        return Database(rel for rel in self._relations if rel.name != name)
+
+    def rename_relation(self, old: str, new: str) -> "Database":
+        """A copy with relation *old* renamed to *new*."""
+        rel = self.relation(old)
+        if old == new:
+            return self
+        if self.has_relation(new):
+            raise NameCollisionError(
+                f"cannot rename relation {old!r} to {new!r}: name already in use"
+            )
+        return self.without_relation(old).with_relation(rel.renamed(new))
+
+    # -- comparisons -----------------------------------------------------------------
+
+    def contains(self, other: "Database") -> bool:
+        """Database-level instance containment (the search goal test).
+
+        True iff for every relation ``T`` of *other* there is a relation with
+        the same name here whose projection onto ``T``'s attributes contains
+        all of ``T``'s tuples — i.e. this database is a "structurally
+        identical superset" of *other* in the sense of the paper's §2.3.
+        """
+        for target_rel in other:
+            if not self.has_relation(target_rel.name):
+                return False
+            if not self.relation(target_rel.name).contains(target_rel):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._hash == other._hash and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{rel.name}({rel.arity}x{rel.cardinality})" for rel in self._relations
+        )
+        return f"Database({inner})"
+
+    def to_text(self) -> str:
+        """Human-readable rendering of every relation."""
+        return "\n\n".join(rel.to_text() for rel in self._relations)

@@ -1,0 +1,305 @@
+"""Immutable relation values.
+
+A :class:`Relation` is a named set of tuples over a fixed attribute list.
+Relations are *canonical*: attributes are stored in sorted order and rows in
+a frozenset, so two relations with the same name, attribute set, and tuple
+set are equal (and hash equal) regardless of construction order.  This is
+what lets the search engine deduplicate whole-database states cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError, UnknownAttributeError
+from .types import NULL, Value, check_value, is_null, value_sort_key, value_to_text
+
+Row = tuple[Value, ...]
+
+
+class Relation:
+    """An immutable named relation (set of tuples over sorted attributes).
+
+    Args:
+        name: relation name (non-empty string).
+        attributes: attribute names; duplicates are rejected.
+        rows: iterable of rows, each aligned with *attributes* as given
+            (the constructor re-orders values into canonical sorted-attribute
+            order).
+
+    Rows may be any sequence of atomic values; ``None`` entries are coerced
+    to :data:`~repro.relational.types.NULL`.
+    """
+
+    __slots__ = ("_name", "_attributes", "_rows", "_index", "_hash")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[Value]] = (),
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        for attr in attrs:
+            if not isinstance(attr, str) or not attr:
+                raise SchemaError(
+                    f"attribute names must be non-empty strings, got {attr!r} in {name!r}"
+                )
+        if len(set(attrs)) != len(attrs):
+            duplicates = sorted({a for a in attrs if attrs.count(a) > 1})
+            raise SchemaError(f"duplicate attributes {duplicates} in relation {name!r}")
+
+        order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+        canonical_attrs = tuple(attrs[i] for i in order)
+
+        canonical_rows: set[Row] = set()
+        for row in rows:
+            values = tuple(check_value(v) for v in row)
+            if len(values) != len(attrs):
+                raise SchemaError(
+                    f"row {row!r} has arity {len(values)}, "
+                    f"expected {len(attrs)} for relation {name!r}"
+                )
+            canonical_rows.add(tuple(values[i] for i in order))
+
+        self._name = name
+        self._attributes = canonical_attrs
+        self._rows: frozenset[Row] = frozenset(canonical_rows)
+        self._index = {attr: i for i, attr in enumerate(canonical_attrs)}
+        self._hash = hash((self._name, self._attributes, self._rows))
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        name: str,
+        rows: Iterable[Mapping[str, Value]],
+        attributes: Sequence[str] | None = None,
+    ) -> "Relation":
+        """Build a relation from dict rows.
+
+        If *attributes* is omitted it is the union of keys across rows;
+        missing keys in individual rows become NULL.
+        """
+        rows = list(rows)
+        if attributes is None:
+            seen: dict[str, None] = {}
+            for row in rows:
+                for key in row:
+                    seen.setdefault(key, None)
+            attributes = tuple(seen)
+            if not attributes:
+                raise SchemaError(
+                    f"cannot infer attributes for relation {name!r} from empty rows"
+                )
+        aligned = [tuple(row.get(attr, NULL) for attr in attributes) for row in rows]
+        return cls(name, attributes, aligned)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Relation name."""
+        return self._name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in canonical (sorted) order."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        """Attribute names as a set."""
+        return frozenset(self._attributes)
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """Rows as tuples aligned with :attr:`attributes`."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of tuples."""
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def has_attribute(self, attr: str) -> bool:
+        """Whether *attr* is one of this relation's attributes."""
+        return attr in self._index
+
+    def attribute_position(self, attr: str) -> int:
+        """Index of *attr* in :attr:`attributes` (raises if unknown)."""
+        try:
+            return self._index[attr]
+        except KeyError:
+            raise UnknownAttributeError(attr, self._name, self._attributes) from None
+
+    def value(self, row: Row, attr: str) -> Value:
+        """The value of *attr* in *row* (a row of this relation)."""
+        return row[self.attribute_position(attr)]
+
+    def column(self, attr: str) -> tuple[Value, ...]:
+        """All values of *attr*, in deterministic sorted-row order."""
+        pos = self.attribute_position(attr)
+        return tuple(row[pos] for row in self.sorted_rows())
+
+    def column_values(self, attr: str, include_null: bool = False) -> frozenset[Value]:
+        """The set of values appearing in column *attr*."""
+        pos = self.attribute_position(attr)
+        values = (row[pos] for row in self._rows)
+        if include_null:
+            return frozenset(values)
+        return frozenset(v for v in values if not is_null(v))
+
+    def value_set(self, include_null: bool = False) -> frozenset[Value]:
+        """The set of all data values appearing anywhere in the relation."""
+        values: set[Value] = set()
+        for row in self._rows:
+            for v in row:
+                if include_null or not is_null(v):
+                    values.add(v)
+        return frozenset(values)
+
+    @property
+    def has_nulls(self) -> bool:
+        """Whether any tuple contains a NULL."""
+        return any(any(is_null(v) for v in row) for row in self._rows)
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic total order (for display and TNF ids)."""
+        return sorted(self._rows, key=lambda row: tuple(value_sort_key(v) for v in row))
+
+    def iter_dicts(self) -> Iterator[dict[str, Value]]:
+        """Iterate rows as attribute->value dicts in deterministic order."""
+        for row in self.sorted_rows():
+            yield dict(zip(self._attributes, row))
+
+    # -- schema-preserving derivations ----------------------------------------
+
+    def renamed(self, new_name: str) -> "Relation":
+        """A copy of this relation under a new name."""
+        return Relation(new_name, self._attributes, self._rows)
+
+    def rename_attribute(self, old: str, new: str) -> "Relation":
+        """A copy with attribute *old* renamed to *new*."""
+        pos = self.attribute_position(old)
+        if new in self._index and new != old:
+            raise SchemaError(
+                f"cannot rename {old!r} to {new!r}: attribute already exists "
+                f"in relation {self._name!r}"
+            )
+        attrs = list(self._attributes)
+        attrs[pos] = new
+        return Relation(self._name, attrs, self._rows)
+
+    def project(self, attrs: Sequence[str]) -> "Relation":
+        """Projection onto *attrs* (set semantics: duplicate rows collapse)."""
+        positions = [self.attribute_position(a) for a in attrs]
+        rows = {tuple(row[p] for p in positions) for row in self._rows}
+        return Relation(self._name, attrs, rows)
+
+    def drop_attribute(self, attr: str) -> "Relation":
+        """Projection dropping a single attribute (the FIRA π̄ operator)."""
+        self.attribute_position(attr)  # raise early with a precise error
+        remaining = [a for a in self._attributes if a != attr]
+        if not remaining:
+            raise SchemaError(
+                f"cannot drop {attr!r}: it is the only attribute of {self._name!r}"
+            )
+        return self.project(remaining)
+
+    def extend(self, attr: str, compute: Callable[[dict[str, Value]], Value]) -> "Relation":
+        """Append a computed column named *attr*.
+
+        *compute* receives each row as a dict and returns the new value.
+        """
+        if attr in self._index:
+            raise SchemaError(
+                f"cannot extend {self._name!r} with {attr!r}: attribute already exists"
+            )
+        new_rows = []
+        for row in self._rows:
+            row_dict = dict(zip(self._attributes, row))
+            new_rows.append(row + (check_value(compute(row_dict)),))
+        return Relation(self._name, self._attributes + (attr,), new_rows)
+
+    def with_rows(self, rows: Iterable[Row]) -> "Relation":
+        """A copy with the given canonical-order rows replacing the current ones."""
+        return Relation(self._name, self._attributes, rows)
+
+    def filter_rows(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
+        """Relational selection: keep rows whose dict satisfies *predicate*."""
+        kept = [
+            row
+            for row in self._rows
+            if predicate(dict(zip(self._attributes, row)))
+        ]
+        return Relation(self._name, self._attributes, kept)
+
+    # -- comparisons -----------------------------------------------------------
+
+    def contains(self, other: "Relation") -> bool:
+        """Instance containment used by the search goal test.
+
+        True iff *other*'s attributes are a subset of ours and every tuple of
+        *other* appears in our projection onto those attributes.  Names are
+        not compared here (the database-level check compares names).
+        """
+        if not other.attribute_set <= self.attribute_set:
+            return False
+        positions = [self.attribute_position(a) for a in other.attributes]
+        projected = {tuple(row[p] for p in positions) for row in self._rows}
+        return other.rows <= projected
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self._name == other._name
+            and self._attributes == other._attributes
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self._name!r}, attributes={list(self._attributes)}, "
+            f"rows={self.cardinality})"
+        )
+
+    def to_text(self) -> str:
+        """Human-readable fixed-width rendering (used by examples)."""
+        headers = list(self._attributes)
+        body = [[value_to_text(v) or "NULL" if is_null(v) else value_to_text(v) for v in row]
+                for row in self.sorted_rows()]
+        widths = [len(h) for h in headers]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"{self._name}:"]
+        lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  " + "  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Tuple Normal Form (TNF) encoding of databases.
+
+TNF (Litwin, Ketabchi & Krishnamurthy, 1991) encodes an entire database in a
+single table of fixed schema ``(TID, REL, ATT, VALUE)``: one row per cell,
+where TID identifies the originating tuple, REL its relation name, ATT the
+attribute name, and VALUE the cell value.  TUPELO uses TNF as its internal
+representation: the paper's heuristics (§3) are all defined over TNF
+projections, the string view, and the term-vector view provided here.
+
+NULL cells are not emitted: a promoted/ragged tuple contributes only its
+non-NULL cells, matching the "piecemeal" population described in the paper's
+Example 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import TNFError
+from .database import Database
+from .relation import Relation
+from .types import Value, is_null, value_to_text
+
+TNF_ATTRIBUTES = ("TID", "REL", "ATT", "VALUE")
+
+TNFCell = tuple[str, str, str, Value]
+"""One TNF row: (tid, relation name, attribute name, value)."""
+
+
+def iter_tnf_cells(db: Database) -> Iterator[TNFCell]:
+    """Yield the TNF cells of *db* in deterministic order.
+
+    Tuple identifiers are ``t1, t2, ...`` assigned over relations in name
+    order and rows in canonical sorted order, so the encoding of equal
+    databases is identical.
+    """
+    tid_counter = 0
+    for rel in db:
+        for row in rel.sorted_rows():
+            tid_counter += 1
+            tid = f"t{tid_counter}"
+            for attr, value in zip(rel.attributes, row):
+                if is_null(value):
+                    continue
+                yield (tid, rel.name, attr, value)
+
+
+def tnf_encode(db: Database, table_name: str = "TNF") -> Relation:
+    """Encode *db* as a single TNF relation.
+
+    Example 4 of the paper shows this encoding for the FlightsC database.
+    """
+    return Relation(table_name, TNF_ATTRIBUTES, list(iter_tnf_cells(db)))
+
+
+def tnf_decode(tnf: Relation) -> Database:
+    """Decode a TNF relation produced by :func:`tnf_encode` back to a database.
+
+    Raises:
+        TNFError: if the relation does not have the TNF schema, a (tid, rel)
+            group assigns two values to one attribute, or the same tid is
+            used under two relation names.
+    """
+    if tnf.attribute_set != frozenset(TNF_ATTRIBUTES):
+        raise TNFError(
+            f"relation {tnf.name!r} does not have TNF schema {TNF_ATTRIBUTES}, "
+            f"got {tuple(tnf.attributes)}"
+        )
+    tid_rel: dict[str, str] = {}
+    grouped: dict[tuple[str, str], dict[str, Value]] = {}
+    for row in tnf.sorted_rows():
+        cell = dict(zip(tnf.attributes, row))
+        tid = cell["TID"]
+        rel_name = cell["REL"]
+        att = cell["ATT"]
+        value = cell["VALUE"]
+        if not isinstance(tid, str) or not isinstance(rel_name, str) or not isinstance(att, str):
+            raise TNFError(f"TNF row {row!r} has non-string TID/REL/ATT")
+        if tid in tid_rel and tid_rel[tid] != rel_name:
+            raise TNFError(
+                f"tuple id {tid!r} appears under relations "
+                f"{tid_rel[tid]!r} and {rel_name!r}"
+            )
+        tid_rel[tid] = rel_name
+        group = grouped.setdefault((rel_name, tid), {})
+        if att in group:
+            raise TNFError(
+                f"tuple id {tid!r} assigns two values to attribute {att!r} "
+                f"of relation {rel_name!r}"
+            )
+        group[att] = value
+
+    rows_by_relation: dict[str, list[dict[str, Value]]] = {}
+    for (rel_name, _tid), row_dict in sorted(grouped.items()):
+        rows_by_relation.setdefault(rel_name, []).append(row_dict)
+    return Database(
+        Relation.from_dicts(rel_name, rows)
+        for rel_name, rows in rows_by_relation.items()
+    )
+
+
+def tnf_triples(db: Database) -> list[tuple[str, str, str]]:
+    """The (REL, ATT, VALUE) triples of *db*'s TNF, values as text.
+
+    This is the term-vector view of §3: each database is a bag of
+    (relation, attribute, value) token triples.
+    """
+    return [
+        (rel, att, value_to_text(value))
+        for (_tid, rel, att, value) in iter_tnf_cells(db)
+    ]
+
+
+def database_string(db: Database) -> str:
+    """The string view of §3 ("Databases as Strings").
+
+    Each TNF row contributes the concatenation REL + ATT + VALUE; the row
+    strings are sorted lexicographically (with repetitions) and concatenated.
+    """
+    pieces = sorted(rel + att + value for rel, att, value in tnf_triples(db))
+    return "".join(pieces)
+
+
+def tnf_projections(
+    db: Database,
+) -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
+    """The (π_REL, π_ATT, π_VALUE) projections of *db*'s TNF as text sets.
+
+    These drive the set-based heuristics h1/h2/h3.
+    """
+    rels: set[str] = set()
+    atts: set[str] = set()
+    values: set[str] = set()
+    for rel, att, value in tnf_triples(db):
+        rels.add(rel)
+        atts.add(att)
+        values.add(value)
+    return frozenset(rels), frozenset(atts), frozenset(values)

@@ -1,0 +1,40 @@
+"""Data mapping as search: problem definition, IDA*/RBFS, facade (§2.3)."""
+
+from .beam import DEFAULT_BEAM_WIDTH, beam_search, make_beam
+from .best_first import a_star, greedy
+from .config import OPERATOR_FAMILIES, SearchConfig
+from .engine import ALGORITHM_NAMES, ALGORITHMS, Tupelo, discover_mapping
+from .ida import ida_star
+from .problem import MappingProblem
+from .rbfs import rbfs
+from .simplify import simplify_expression
+from .result import (
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_FOUND,
+    STATUS_NOT_FOUND,
+    SearchResult,
+)
+from .stats import SearchStats
+
+__all__ = [
+    "a_star",
+    "DEFAULT_BEAM_WIDTH",
+    "beam_search",
+    "make_beam",
+    "greedy",
+    "OPERATOR_FAMILIES",
+    "SearchConfig",
+    "ALGORITHM_NAMES",
+    "ALGORITHMS",
+    "Tupelo",
+    "discover_mapping",
+    "ida_star",
+    "MappingProblem",
+    "rbfs",
+    "simplify_expression",
+    "STATUS_BUDGET_EXCEEDED",
+    "STATUS_FOUND",
+    "STATUS_NOT_FOUND",
+    "SearchResult",
+    "SearchStats",
+]

@@ -1,0 +1,69 @@
+"""Beam search (extension — the paper's "further investigation of search
+techniques developed in the AI literature is warranted").
+
+Layered best-first search keeping only the ``width`` lowest-f states per
+depth.  Memory is O(width), between IDA*/RBFS (path-linear) and A*
+(frontier-exponential); the price is *incompleteness* — a too-narrow beam
+can discard every path to the goal, so failure means "not found within the
+beam", not "no mapping exists".  The algorithm ablation bench quantifies
+the trade-off.
+"""
+
+from __future__ import annotations
+
+from ..errors import MappingNotFound
+from ..fira.base import Operator
+from ..heuristics.base import Heuristic
+from ..relational.database import Database
+from .problem import MappingProblem
+from .stats import SearchStats
+
+#: default beam width (states kept per layer)
+DEFAULT_BEAM_WIDTH = 16
+
+
+def make_beam(width: int = DEFAULT_BEAM_WIDTH):
+    """Build a beam-search algorithm with the given width."""
+
+    def beam(
+        problem: MappingProblem, heuristic: Heuristic, stats: SearchStats
+    ) -> list[Operator]:
+        root = problem.initial_state()
+        layer: list[tuple[Database, Operator | None, list[Operator]]] = [
+            (root, None, [])
+        ]
+        seen: set[Database] = {root}
+        depth = 0
+        max_depth = problem.config.max_depth
+        while layer:
+            stats.iteration()
+            for state, _last, path in layer:
+                stats.examine(len(path))
+                if problem.is_goal(state):
+                    return path
+            if max_depth is not None and depth >= max_depth:
+                break
+            candidates: list[tuple[int, str, Database, Operator, list[Operator]]] = []
+            for state, last, path in layer:
+                for op, child in problem.successors(state, last, stats):
+                    if child in seen:
+                        continue
+                    seen.add(child)
+                    f = len(path) + 1 + heuristic(child)
+                    candidates.append((f, str(op), child, op, path))
+            candidates.sort(key=lambda c: (c[0], c[1]))
+            layer = [
+                (child, op, path + [op])
+                for _f, _key, child, op, path in candidates[:width]
+            ]
+            depth += 1
+        raise MappingNotFound(
+            f"beam search (width {width}) exhausted its beam without a goal"
+        )
+
+    beam.__name__ = f"beam{width}"
+    return beam
+
+
+#: ready-made default-width beam
+beam_search = make_beam()

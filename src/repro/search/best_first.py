@@ -1,0 +1,95 @@
+"""A* and greedy best-first baselines (ablation extensions).
+
+The paper reports that "early implementations of TUPELO" used plain A*
+best-first search and were ineffective because of its exponential memory
+use; IDA* and RBFS replaced it.  We provide A* (f = g + h, closed set) and
+greedy best-first (f = h) so the ablation benches can quantify that
+trade-off: A* examines the fewest states but holds the frontier + closed
+set in memory; IDA*/RBFS re-examine states but stay path-linear.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from ..errors import MappingNotFound
+from ..fira.base import Operator
+from ..heuristics.base import Heuristic
+from ..relational.database import Database
+from .problem import MappingProblem
+from .stats import SearchStats
+
+
+def _best_first(
+    problem: MappingProblem,
+    heuristic: Heuristic,
+    stats: SearchStats,
+    weight_g: int,
+) -> list[Operator]:
+    """Generic priority-queue best-first search.
+
+    ``weight_g=1`` is A*; ``weight_g=0`` is greedy best-first.
+    """
+    root = problem.initial_state()
+    counter = itertools.count()  # FIFO tie-break for determinism
+    frontier: list[tuple[float, int, Database]] = []
+    heapq.heappush(frontier, (float(heuristic(root)), next(counter), root))
+    best_g: dict[Database, int] = {root: 0}
+    parent: dict[Database, tuple[Database, Operator] | None] = {root: None}
+    closed: set[Database] = set()
+    max_depth = problem.config.max_depth
+
+    while frontier:
+        _f, _tick, state = heapq.heappop(frontier)
+        if state in closed:
+            continue
+        closed.add(state)
+        g = best_g[state]
+        stats.examine(g)
+        if problem.is_goal(state):
+            return _reconstruct(parent, state)
+        if max_depth is not None and g >= max_depth:
+            continue
+        came_from = parent[state]
+        last_op = came_from[1] if came_from is not None else None
+        for op, child in problem.successors(state, last_op, stats):
+            child_g = g + 1
+            known = best_g.get(child)
+            if known is not None and known <= child_g:
+                continue
+            best_g[child] = child_g
+            parent[child] = (state, op)
+            if child in closed:
+                closed.remove(child)  # re-open: a cheaper path appeared
+            f = weight_g * child_g + heuristic(child)
+            heapq.heappush(frontier, (float(f), next(counter), child))
+    raise MappingNotFound("best-first search exhausted the search space")
+
+
+def _reconstruct(
+    parent: dict[Database, tuple[Database, Operator] | None], state: Database
+) -> list[Operator]:
+    ops: list[Operator] = []
+    while True:
+        came_from = parent[state]
+        if came_from is None:
+            break
+        state, op = came_from
+        ops.append(op)
+    ops.reverse()
+    return ops
+
+
+def a_star(
+    problem: MappingProblem, heuristic: Heuristic, stats: SearchStats
+) -> list[Operator]:
+    """A* search (f = g + h) with a closed set."""
+    return _best_first(problem, heuristic, stats, weight_g=1)
+
+
+def greedy(
+    problem: MappingProblem, heuristic: Heuristic, stats: SearchStats
+) -> list[Operator]:
+    """Greedy best-first search (f = h)."""
+    return _best_first(problem, heuristic, stats, weight_g=0)

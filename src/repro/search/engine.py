@@ -1,0 +1,167 @@
+"""The TUPELO facade: discover data mappings between critical instances.
+
+This is the public entry point mirroring Fig. 2 of the paper: inputs are
+critical instances of the source and target schemas plus declarations of
+any complex semantic correspondences; output is an executable mapping
+expression in L together with search statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import (
+    MappingNotFound,
+    SearchBudgetExceeded,
+    UnknownAlgorithmError,
+)
+from ..fira.base import Operator
+from ..fira.expression import MappingExpression
+from ..heuristics.base import Heuristic
+from ..heuristics.registry import make_heuristic
+from ..relational.database import Database
+from ..semantics.correspondence import Correspondence
+from ..semantics.functions import FunctionRegistry
+from .beam import beam_search
+from .best_first import a_star, greedy
+from .config import SearchConfig
+from .ida import ida_star
+from .problem import MappingProblem
+from .result import (
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_FOUND,
+    STATUS_NOT_FOUND,
+    SearchResult,
+)
+from .rbfs import rbfs
+from .simplify import simplify_expression
+from .stats import SearchStats
+
+SearchAlgorithm = Callable[[MappingProblem, Heuristic, SearchStats], "list[Operator]"]
+
+#: algorithm registry; "ida" and "rbfs" are the paper's, the rest ablations
+ALGORITHMS: dict[str, SearchAlgorithm] = {
+    "ida": ida_star,
+    "rbfs": rbfs,
+    "astar": a_star,
+    "greedy": greedy,
+    "beam": beam_search,
+}
+
+ALGORITHM_NAMES: tuple[str, ...] = tuple(ALGORITHMS)
+
+
+def discover_mapping(
+    source: Database,
+    target: Database,
+    algorithm: str = "rbfs",
+    heuristic: str = "h1",
+    k: float | None = None,
+    correspondences: Sequence[Correspondence] = (),
+    registry: FunctionRegistry | None = None,
+    config: SearchConfig | None = None,
+    simplify: bool = True,
+) -> SearchResult:
+    """Discover a mapping expression from *source* to *target*.
+
+    Args:
+        source: source critical instance.
+        target: target critical instance (same information, per the
+            Rosetta Stone principle).
+        algorithm: one of :data:`ALGORITHM_NAMES`.
+        heuristic: one of :data:`~repro.heuristics.HEURISTIC_NAMES`.
+        k: scaling-constant override for the scaled heuristics; defaults to
+            the paper's tuned value for the chosen algorithm.
+        correspondences: declared complex semantic correspondences (§4).
+        registry: semantic function registry (defaults to the built-ins).
+        config: search configuration (budget, pruning, operator families).
+        simplify: post-process the discovered path, deleting operators not
+            needed for the goal (does not affect the search statistics).
+
+    Returns:
+        A :class:`SearchResult`; check ``result.found`` / ``result.status``.
+    """
+    algorithm = algorithm.lower()
+    if algorithm not in ALGORITHMS:
+        raise UnknownAlgorithmError(algorithm, ALGORITHM_NAMES)
+    problem = MappingProblem(
+        source, target, correspondences=correspondences, registry=registry, config=config
+    )
+    h = make_heuristic(heuristic, target, k=k, algorithm=algorithm)
+    stats = SearchStats(budget=problem.config.max_states)
+    try:
+        operators = ALGORITHMS[algorithm](problem, h, stats)
+        status = STATUS_FOUND
+        expression: MappingExpression | None = MappingExpression(operators)
+        if simplify:
+            expression = simplify_expression(
+                expression, source, target, problem.registry
+            )
+    except MappingNotFound:
+        status, expression = STATUS_NOT_FOUND, None
+    except SearchBudgetExceeded:
+        status, expression = STATUS_BUDGET_EXCEEDED, None
+    stats.stop_clock()
+    return SearchResult(
+        status=status,
+        expression=expression,
+        stats=stats,
+        algorithm=algorithm,
+        heuristic=heuristic,
+    )
+
+
+class Tupelo:
+    """A configured mapping-discovery engine.
+
+    Holds algorithm/heuristic/config choices so callers can discover many
+    mappings with one object::
+
+        engine = Tupelo(algorithm="rbfs", heuristic="cosine")
+        result = engine.discover(source_db, target_db)
+        mapped = result.expression.apply(full_source_db)
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "rbfs",
+        heuristic: str = "h1",
+        k: float | None = None,
+        registry: FunctionRegistry | None = None,
+        config: SearchConfig | None = None,
+        simplify: bool = True,
+    ) -> None:
+        algorithm = algorithm.lower()
+        if algorithm not in ALGORITHMS:
+            raise UnknownAlgorithmError(algorithm, ALGORITHM_NAMES)
+        self.algorithm = algorithm
+        self.heuristic = heuristic
+        self.k = k
+        self.registry = registry
+        self.config = config if config is not None else SearchConfig()
+        self.simplify = simplify
+
+    def discover(
+        self,
+        source: Database,
+        target: Database,
+        correspondences: Sequence[Correspondence] = (),
+    ) -> SearchResult:
+        """Discover a mapping expression from *source* to *target*."""
+        return discover_mapping(
+            source,
+            target,
+            algorithm=self.algorithm,
+            heuristic=self.heuristic,
+            k=self.k,
+            correspondences=correspondences,
+            registry=self.registry,
+            config=self.config,
+            simplify=self.simplify,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Tupelo(algorithm={self.algorithm!r}, heuristic={self.heuristic!r}, "
+            f"k={self.k!r})"
+        )

@@ -1,0 +1,74 @@
+"""Iterative Deepening A* (IDA*), one of the paper's two algorithms (§2.3).
+
+IDA* performs repeated depth-first probes bounded by the f-value
+``f(x) = g(x) + h(x)``, raising the bound to the smallest exceeded f after
+each probe.  Memory is linear in the search depth; the price is re-expansion
+of shallow states on every iteration — which the paper accepts ("although
+they both perform redundant explorations, they do not suffer from the
+exponential memory use of basic A*").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import MappingNotFound
+from ..fira.base import Operator
+from ..heuristics.base import Heuristic
+from ..relational.database import Database
+from .problem import MappingProblem
+from .stats import SearchStats
+
+_FOUND = object()
+
+
+def ida_star(
+    problem: MappingProblem, heuristic: Heuristic, stats: SearchStats
+) -> list[Operator]:
+    """Run IDA* and return the operator path to a goal state.
+
+    Raises:
+        MappingNotFound: if the (pruned) space contains no goal.
+        SearchBudgetExceeded: if ``stats.budget`` is exhausted.
+    """
+    root = problem.initial_state()
+    path_ops: list[Operator] = []
+    on_path: set[Database] = {root}
+    max_depth = problem.config.max_depth
+
+    def probe(state: Database, last_op: Operator | None, g: int, bound: float):
+        """DFS bounded by f <= bound; returns _FOUND or the next bound."""
+        stats.examine(g)
+        f = g + heuristic(state)
+        if f > bound:
+            return f
+        if problem.is_goal(state):
+            return _FOUND
+        if max_depth is not None and g >= max_depth:
+            return math.inf
+        minimum: float = math.inf
+        for op, child in problem.successors(state, last_op, stats):
+            if child in on_path:
+                continue
+            path_ops.append(op)
+            on_path.add(child)
+            outcome = probe(child, op, g + 1, bound)
+            if outcome is _FOUND:
+                return _FOUND
+            path_ops.pop()
+            on_path.remove(child)
+            if outcome < minimum:
+                minimum = outcome
+        return minimum
+
+    bound: float = heuristic(root)
+    while True:
+        stats.iteration()
+        outcome = probe(root, None, 0, bound)
+        if outcome is _FOUND:
+            return list(path_ops)
+        if math.isinf(outcome):
+            raise MappingNotFound(
+                f"IDA* exhausted the search space (final bound {bound})"
+            )
+        bound = outcome

@@ -1,0 +1,351 @@
+"""The mapping-discovery search problem (§2.3).
+
+Given source and target critical instances, :class:`MappingProblem` defines
+the state space TUPELO explores: states are whole databases, the initial
+state is the source instance, moves are instances of the L operators, and
+the goal test is "the state contains the target instance" (structurally
+identical superset).
+
+Successor generation implements the paper's "simple enhancements to search":
+*obviously inapplicable transformations are disregarded* —
+
+* an operator is proposed only if it can supply a missing target token
+  (e.g. attribute renames are skipped once every target attribute name is
+  present, promotes are proposed only for columns whose values include a
+  missing target attribute name, ...);
+* runs of consecutive commuting operators (attribute renames, drops, λ
+  applications, relation renames) are canonicalised to sorted order, so the
+  search does not explore the factorially many equivalent orderings.
+
+Both behaviours are controlled by :class:`~repro.search.config.SearchConfig`
+so the ablation benches can measure their impact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..fira.base import Operator
+from ..fira.combine import CartesianProduct, Merge
+from ..fira.dynamic import (
+    DEMOTE_ATT_ATTR,
+    DEMOTE_REL_ATTR,
+    Demote,
+    Dereference,
+    Partition,
+    Promote,
+)
+from ..fira.renames import RenameAttribute, RenameRelation
+from ..fira.semantic import ApplyFunction
+from ..fira.structure import DropAttribute
+from ..errors import NameCollisionError, OperatorApplicationError, SchemaError
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.types import value_to_text
+from ..semantics.correspondence import Correspondence
+from ..semantics.functions import FunctionRegistry, builtin_registry
+from .config import SearchConfig
+from .stats import SearchStats
+
+#: deterministic exploration order of operator families (cheap fixes first)
+_FAMILY_ORDER: dict[str, int] = {
+    "rename_att": 0,
+    "rename_rel": 1,
+    "apply": 2,
+    "promote": 3,
+    "partition": 4,
+    "merge": 5,
+    "drop": 6,
+    "deref": 7,
+    "demote": 8,
+    "product": 9,
+}
+
+_RESERVED_ATTRS = (DEMOTE_REL_ATTR, DEMOTE_ATT_ATTR)
+
+
+class MappingProblem:
+    """The search problem for one source/target critical-instance pair.
+
+    Args:
+        source: source critical instance (initial state).
+        target: target critical instance (goal pattern).
+        correspondences: declared complex semantic correspondences (§4);
+            each may be applied as a λ operator during search.
+        registry: function registry resolving λ symbols; defaults to the
+            built-ins.
+        config: search knobs (budget, pruning, operator families).
+    """
+
+    def __init__(
+        self,
+        source: Database,
+        target: Database,
+        correspondences: Sequence[Correspondence] = (),
+        registry: FunctionRegistry | None = None,
+        config: SearchConfig | None = None,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.correspondences = tuple(correspondences)
+        self.registry = registry if registry is not None else builtin_registry()
+        self.config = config if config is not None else SearchConfig()
+        for corr in self.correspondences:
+            corr.check_signature(self.registry)
+
+        # Target views consulted by the pruning rules.
+        self._target_rels = frozenset(target.relation_names)
+        self._target_atts = frozenset(target.attribute_names())
+        self._target_attrs_by_rel = {
+            rel.name: rel.attribute_set for rel in target
+        }
+        self._target_value_texts = frozenset(
+            value_to_text(v) for v in target.value_set()
+        )
+
+    # -- problem interface -----------------------------------------------------
+
+    def initial_state(self) -> Database:
+        """The initial search state (the source critical instance)."""
+        return self.source
+
+    def is_goal(self, state: Database) -> bool:
+        """Goal test: *state* contains the target critical instance."""
+        return state.contains(self.target)
+
+    def successors(
+        self,
+        state: Database,
+        last_op: Operator | None = None,
+        stats: SearchStats | None = None,
+    ) -> list[tuple[Operator, Database]]:
+        """Applicable, pruned, deduplicated moves from *state*.
+
+        *last_op* is the operator that produced *state* (None at the root);
+        it drives the symmetry-breaking canonicalisation of commuting runs.
+        Results are deterministic: sorted by family order then textual form.
+        """
+        moves = self._propose(state, last_op)
+        moves.sort(key=lambda op: (_FAMILY_ORDER.get(op.keyword, 99), str(op)))
+        out: list[tuple[Operator, Database]] = []
+        seen: set[Database] = {state}
+        for op in moves:
+            try:
+                child = op.apply(state, self.registry)
+            except (OperatorApplicationError, SchemaError, NameCollisionError):
+                continue
+            if child in seen:
+                continue  # no-op or duplicate of an earlier move
+            seen.add(child)
+            out.append((op, child))
+        if stats is not None:
+            stats.generated(len(out))
+        return out
+
+    # -- proposal rules -----------------------------------------------------------
+
+    def _propose(self, state: Database, last_op: Operator | None) -> list[Operator]:
+        config = self.config
+        moves: list[Operator] = []
+        state_atts = state.attribute_names()
+        state_rels = frozenset(state.relation_names)
+        missing_atts = self._target_atts - state_atts
+        missing_rels = self._target_rels - state_rels
+
+        if config.allows("rename_att"):
+            moves.extend(self._propose_attribute_renames(state, last_op))
+        if config.allows("rename_rel") and (missing_rels or not config.prune_targets):
+            moves.extend(self._propose_relation_renames(state, missing_rels, last_op))
+        if config.allows("apply"):
+            moves.extend(self._propose_lambdas(state, last_op))
+        if config.allows("promote"):
+            moves.extend(self._propose_promotes(state))
+        if config.allows("partition") and (missing_rels or not config.prune_targets):
+            moves.extend(self._propose_partitions(state, missing_rels))
+        if config.allows("merge"):
+            moves.extend(self._propose_merges(state))
+        if config.allows("drop"):
+            moves.extend(self._propose_drops(state, last_op))
+        if config.allows("deref"):
+            moves.extend(self._propose_dereferences(state))
+        if config.allows("demote"):
+            moves.extend(self._propose_demotes(state))
+        if config.allows("product"):
+            moves.extend(self._propose_products(state))
+        return moves
+
+    def _missing_atts_for(self, rel: Relation) -> frozenset[str]:
+        """Target attributes the relation still lacks.
+
+        If the target has a relation of the same name, aim for its
+        attributes; otherwise aim for the union of target attributes.
+        """
+        wanted = self._target_attrs_by_rel.get(rel.name, self._target_atts)
+        return frozenset(wanted) - rel.attribute_set
+
+    def _propose_attribute_renames(
+        self, state: Database, last_op: Operator | None
+    ) -> Iterable[Operator]:
+        for rel in state:
+            if self.config.prune_targets:
+                wanted = self._missing_atts_for(rel)
+            else:
+                wanted = self._target_atts - rel.attribute_set
+            if not wanted:
+                continue
+            for old in rel.attributes:
+                if self.config.prune_targets and old in self._target_atts:
+                    continue  # never rename away a name the target uses
+                if (
+                    self.config.break_symmetry
+                    and isinstance(last_op, RenameAttribute)
+                    and last_op.relation == rel.name
+                    and old <= last_op.old
+                ):
+                    continue  # canonical order within a run of renames
+                for new in sorted(wanted):
+                    yield RenameAttribute(rel.name, old, new)
+
+    def _propose_relation_renames(
+        self,
+        state: Database,
+        missing_rels: frozenset[str],
+        last_op: Operator | None,
+    ) -> Iterable[Operator]:
+        for rel in state:
+            if self.config.prune_targets and rel.name in self._target_rels:
+                continue
+            if (
+                self.config.break_symmetry
+                and isinstance(last_op, RenameRelation)
+                and rel.name <= last_op.old
+            ):
+                continue
+            for new in sorted(missing_rels):
+                yield RenameRelation(rel.name, new)
+
+    def _propose_lambdas(
+        self, state: Database, last_op: Operator | None
+    ) -> Iterable[Operator]:
+        for corr in self.correspondences:
+            for rel in state:
+                if corr.relation is not None and corr.relation != rel.name:
+                    continue
+                if rel.has_attribute(corr.output):
+                    continue
+                if not all(rel.has_attribute(a) for a in corr.inputs):
+                    continue
+                # λ applications are deliberately NOT symmetry-broken: the
+                # paper treats them "just like any of the other operators"
+                # (§4) and its Fig. 9 blind-search curves show the orderings
+                # being explored.
+                yield ApplyFunction.from_correspondence(rel.name, corr)
+
+    def _propose_promotes(self, state: Database) -> Iterable[Operator]:
+        for rel in state:
+            wanted = self._missing_atts_for(rel)
+            if self.config.prune_targets and not wanted:
+                continue
+            for name_attr in rel.attributes:
+                if self.config.prune_targets:
+                    texts = {
+                        value_to_text(v) for v in rel.column_values(name_attr)
+                    }
+                    if not texts & wanted:
+                        continue
+                for value_attr in rel.attributes:
+                    if self.config.prune_targets:
+                        value_texts = {
+                            value_to_text(v) for v in rel.column_values(value_attr)
+                        }
+                        if not value_texts & self._target_value_texts:
+                            continue
+                    yield Promote(rel.name, name_attr, value_attr)
+
+    def _propose_partitions(
+        self, state: Database, missing_rels: frozenset[str]
+    ) -> Iterable[Operator]:
+        for rel in state:
+            for attr in rel.attributes:
+                if self.config.prune_targets:
+                    texts = {value_to_text(v) for v in rel.column_values(attr)}
+                    if not texts & missing_rels:
+                        continue
+                yield Partition(rel.name, attr)
+
+    def _propose_merges(self, state: Database) -> Iterable[Operator]:
+        for rel in state:
+            if self.config.prune_targets and not rel.has_nulls:
+                continue
+            for attr in rel.attributes:
+                if self.config.prune_targets and attr not in self._target_atts:
+                    continue
+                yield Merge(rel.name, attr)
+
+    def _propose_drops(
+        self, state: Database, last_op: Operator | None
+    ) -> Iterable[Operator]:
+        for rel in state:
+            if rel.arity <= 1:
+                continue
+            droppable = rel.has_nulls or any(
+                rel.has_attribute(reserved) for reserved in _RESERVED_ATTRS
+            )
+            if self.config.prune_targets and not droppable:
+                continue
+            for attr in rel.attributes:
+                if attr in self._target_atts:
+                    continue  # never drop a name the target needs
+                if (
+                    self.config.break_symmetry
+                    and isinstance(last_op, DropAttribute)
+                    and last_op.relation == rel.name
+                    and attr <= last_op.attribute
+                ):
+                    continue
+                yield DropAttribute(rel.name, attr)
+
+    def _propose_dereferences(self, state: Database) -> Iterable[Operator]:
+        for rel in state:
+            wanted = self._missing_atts_for(rel) if self.config.prune_targets else (
+                self._target_atts - rel.attribute_set
+            )
+            if not wanted:
+                continue
+            for pointer in rel.attributes:
+                if self.config.prune_targets:
+                    texts = {value_to_text(v) for v in rel.column_values(pointer)}
+                    if not texts & rel.attribute_set:
+                        continue  # pointer values never name an attribute
+                for new in sorted(wanted):
+                    yield Dereference(rel.name, pointer, new)
+
+    def _propose_demotes(self, state: Database) -> Iterable[Operator]:
+        if self.config.prune_targets:
+            state_value_texts = {value_to_text(v) for v in state.value_set()}
+            missing_values = self._target_value_texts - state_value_texts
+        for rel in state:
+            if self.config.prune_targets:
+                names = set(rel.attributes) | {rel.name}
+                if not names & missing_values:
+                    continue
+            yield Demote(rel.name)
+
+    def _propose_products(self, state: Database) -> Iterable[Operator]:
+        relations = list(state)
+        for i, left in enumerate(relations):
+            for right in relations[i + 1 :]:
+                if self.config.prune_targets and not self._product_helps(left, right):
+                    continue
+                yield CartesianProduct(left.name, right.name)
+
+    def _product_helps(self, left: Relation, right: Relation) -> bool:
+        """A product is proposed only if some target relation genuinely
+        spans both operands: each side must contribute a target attribute
+        the other side lacks."""
+        for attrs in self._target_attrs_by_rel.values():
+            left_only = (attrs & left.attribute_set) - right.attribute_set
+            right_only = (attrs & right.attribute_set) - left.attribute_set
+            if left_only and right_only:
+                return True
+        return False

@@ -1,0 +1,54 @@
+"""Search results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fira.expression import MappingExpression
+from .stats import SearchStats
+
+#: terminal statuses a search run can report
+STATUS_FOUND = "found"
+STATUS_NOT_FOUND = "not_found"
+STATUS_BUDGET_EXCEEDED = "budget_exceeded"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one mapping-discovery run.
+
+    Attributes:
+        status: ``"found"``, ``"not_found"`` (space exhausted), or
+            ``"budget_exceeded"`` (state budget hit, like the paper's 10^6
+            plot cut-offs).
+        expression: the discovered mapping expression (empty pipeline if the
+            source already contains the target; None unless found).
+        stats: search counters; ``stats.states_examined`` is the paper's
+            reported metric.
+        algorithm: algorithm registry name (``"ida"``, ``"rbfs"``, ...).
+        heuristic: heuristic registry name (``"h1"``, ``"cosine"``, ...).
+    """
+
+    status: str
+    expression: MappingExpression | None
+    stats: SearchStats
+    algorithm: str
+    heuristic: str
+
+    @property
+    def found(self) -> bool:
+        """Whether a mapping expression was discovered."""
+        return self.status == STATUS_FOUND
+
+    @property
+    def states_examined(self) -> int:
+        """Shorthand for the paper's performance metric."""
+        return self.stats.states_examined
+
+    def __repr__(self) -> str:
+        size = len(self.expression) if self.expression is not None else "-"
+        return (
+            f"SearchResult({self.status}, ops={size}, "
+            f"states={self.stats.states_examined}, "
+            f"algorithm={self.algorithm!r}, heuristic={self.heuristic!r})"
+        )

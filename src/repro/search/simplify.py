@@ -1,0 +1,63 @@
+"""Post-processing: simplify discovered mapping expressions.
+
+Search returns the *path* to the first goal state it reaches; because the
+goal test tolerates supersets, the path may contain operators that were
+explored en route but are not needed for the target (e.g. a stray cartesian
+product whose result the goal never looks at).  :func:`simplify_expression`
+greedily deletes operators whose removal keeps the pipeline (a) executable
+on the source instance and (b) goal-satisfying, iterating to a fixpoint.
+
+This is an extension beyond the paper (which reports raw paths); it is
+purely cosmetic — the unsimplified expression is already correct.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import TupeloError
+from ..fira.expression import MappingExpression
+from ..relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..semantics.functions import FunctionRegistry
+
+
+def _satisfies(
+    expression: MappingExpression,
+    source: Database,
+    target: Database,
+    registry: "FunctionRegistry | None",
+) -> bool:
+    """Whether the pipeline runs on *source* and its output contains *target*."""
+    try:
+        result = expression.apply(source, registry)
+    except TupeloError:
+        return False
+    return result.contains(target)
+
+
+def simplify_expression(
+    expression: MappingExpression,
+    source: Database,
+    target: Database,
+    registry: "FunctionRegistry | None" = None,
+) -> MappingExpression:
+    """Remove operators not needed to map *source* onto *target*.
+
+    The input expression must itself satisfy the goal; otherwise it is
+    returned unchanged.  The result is minimal in the sense that deleting
+    any single remaining operator breaks the mapping.
+    """
+    if not _satisfies(expression, source, target, registry):
+        return expression
+    operators = list(expression.operators)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(operators) - 1, -1, -1):
+            candidate = MappingExpression(operators[:i] + operators[i + 1 :])
+            if _satisfies(candidate, source, target, registry):
+                del operators[i]
+                changed = True
+    return MappingExpression(operators)

@@ -1,0 +1,67 @@
+"""Search statistics.
+
+The paper's performance measure throughout §5 is the **number of states
+examined** during search; :class:`SearchStats` tracks that counter plus the
+secondary quantities (states generated, iterations/backtracks, peak depth,
+wall-clock time) used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import SearchBudgetExceeded
+
+
+@dataclass
+class SearchStats:
+    """Mutable counters threaded through one search run.
+
+    Attributes:
+        budget: maximum states that may be examined before aborting.
+        states_examined: nodes visited (goal-tested) — the paper's metric.
+            IDA* re-examines states across deepening iterations and RBFS
+            across backtracks; such re-visits count again, as in the paper.
+        states_generated: successor databases constructed.
+        iterations: IDA* deepening iterations / RBFS recursive re-expansions.
+        max_depth: deepest ``g`` reached.
+    """
+
+    budget: int = 1_000_000
+    states_examined: int = 0
+    states_generated: int = 0
+    iterations: int = 0
+    max_depth: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+    elapsed_seconds: float = 0.0
+
+    def examine(self, depth: int = 0) -> None:
+        """Record one state examination; raise if the budget is exhausted."""
+        self.states_examined += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if self.states_examined > self.budget:
+            raise SearchBudgetExceeded(self.budget, self.states_examined)
+
+    def generated(self, count: int = 1) -> None:
+        """Record successor generation."""
+        self.states_generated += count
+
+    def iteration(self) -> None:
+        """Record one IDA* deepening iteration / RBFS re-expansion."""
+        self.iterations += 1
+
+    def stop_clock(self) -> None:
+        """Freeze :attr:`elapsed_seconds`."""
+        self.elapsed_seconds = time.perf_counter() - self.started_at
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict rendering for reports and benches."""
+        return {
+            "states_examined": self.states_examined,
+            "states_generated": self.states_generated,
+            "iterations": self.iterations,
+            "max_depth": self.max_depth,
+            "elapsed_seconds": self.elapsed_seconds,
+        }

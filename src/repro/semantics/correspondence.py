@@ -1,0 +1,168 @@
+"""Complex correspondence declarations and their TNF encoding (§4).
+
+TUPELO separates *discovering* complex semantic functions (out of scope for
+the paper — see iMAP and related work) from *placing* them inside a larger
+mapping expression.  The user declares each complex correspondence on the
+critical-instance inputs: "attribute ``B`` of the target is ``f`` applied to
+attributes ``Ā`` of the source".  Search then treats these declarations as
+additional operator instances (λ applications) whose well-typedness is the
+only thing checked.
+
+The paper notes that internally "complex semantic maps are just encoded as
+strings in the VALUE column of the TNF relation"; :func:`encode_correspondence`
+and :func:`decode_correspondence` implement that string format, and
+:func:`correspondences_to_tnf_rows` / :func:`correspondences_from_tnf` embed
+declarations into a TNF table alongside ordinary cells.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import CorrespondenceError
+from ..relational.relation import Relation
+from ..relational.tnf import TNF_ATTRIBUTES
+from .functions import FunctionRegistry, SemanticFunction
+
+
+@dataclass(frozen=True, order=True)
+class Correspondence:
+    """A declared complex semantic correspondence.
+
+    Attributes:
+        function: name of the semantic function (resolved via a registry
+            at execution time; opaque during search).
+        inputs: source attribute names fed to the function, in order.
+        output: target attribute name receiving the function value.
+        relation: optional relation name restricting where the λ operator
+            may apply; ``None`` means any relation carrying the inputs.
+    """
+
+    function: str
+    inputs: tuple[str, ...]
+    output: str
+    relation: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.function:
+            raise CorrespondenceError("correspondence function name must be non-empty")
+        if not self.inputs:
+            raise CorrespondenceError(
+                f"correspondence for {self.function!r} must have at least one input"
+            )
+        if any(not attr for attr in self.inputs):
+            raise CorrespondenceError(
+                f"correspondence for {self.function!r} has an empty input attribute"
+            )
+        if not self.output:
+            raise CorrespondenceError(
+                f"correspondence for {self.function!r} must name an output attribute"
+            )
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+
+    @property
+    def arity(self) -> int:
+        """Number of input attributes."""
+        return len(self.inputs)
+
+    def check_signature(self, registry: FunctionRegistry) -> SemanticFunction:
+        """Resolve the function and verify the declared arity matches.
+
+        Raises:
+            CorrespondenceError: if arities disagree.
+            UnknownFunctionError: if the function is unregistered.
+        """
+        fn = registry.get(self.function)
+        if fn.arity != self.arity:
+            raise CorrespondenceError(
+                f"correspondence {self!r} declares {self.arity} inputs but "
+                f"function {fn.name!r} has arity {fn.arity}"
+            )
+        return fn
+
+    def __str__(self) -> str:
+        scope = f"{self.relation}." if self.relation else ""
+        return f"{scope}{self.output} <- {self.function}({', '.join(self.inputs)})"
+
+
+_CORRESPONDENCE_RE = re.compile(
+    r"^λ:(?P<output>[^<]+)<-(?P<function>[^(]+)\((?P<inputs>[^)]*)\)(?:@(?P<relation>.+))?$"
+)
+
+
+def encode_correspondence(corr: Correspondence) -> str:
+    """Encode a correspondence as a TNF VALUE string.
+
+    Format: ``λ:<output><-<function>(<in1>,<in2>,...)[@<relation>]``.
+    """
+    encoded = f"λ:{corr.output}<-{corr.function}({','.join(corr.inputs)})"
+    if corr.relation is not None:
+        encoded += f"@{corr.relation}"
+    return encoded
+
+
+def decode_correspondence(text: str) -> Correspondence:
+    """Decode a string produced by :func:`encode_correspondence`.
+
+    Raises:
+        CorrespondenceError: if the string is not in the encoding format.
+    """
+    match = _CORRESPONDENCE_RE.match(text)
+    if match is None:
+        raise CorrespondenceError(f"not a correspondence encoding: {text!r}")
+    inputs = tuple(part for part in match.group("inputs").split(",") if part)
+    return Correspondence(
+        function=match.group("function"),
+        inputs=inputs,
+        output=match.group("output"),
+        relation=match.group("relation"),
+    )
+
+
+def is_correspondence_value(text: object) -> bool:
+    """Whether a TNF VALUE cell holds an encoded correspondence."""
+    return isinstance(text, str) and text.startswith("λ:")
+
+
+CORRESPONDENCE_REL = "$correspondences"
+CORRESPONDENCE_ATT = "$lambda"
+
+
+def correspondences_to_tnf_rows(
+    correspondences: Iterable[Correspondence],
+) -> list[tuple[str, str, str, str]]:
+    """TNF rows carrying correspondence declarations.
+
+    Declarations live under a reserved relation/attribute name so they can
+    coexist with ordinary cells in one TNF table (as the paper describes).
+    """
+    rows = []
+    for i, corr in enumerate(sorted(set(correspondences)), start=1):
+        rows.append(
+            (f"c{i}", CORRESPONDENCE_REL, CORRESPONDENCE_ATT, encode_correspondence(corr))
+        )
+    return rows
+
+
+def correspondences_from_tnf(tnf: Relation) -> tuple[Correspondence, ...]:
+    """Extract correspondence declarations embedded in a TNF relation."""
+    if tnf.attribute_set != frozenset(TNF_ATTRIBUTES):
+        raise CorrespondenceError(
+            f"relation {tnf.name!r} does not have the TNF schema"
+        )
+    found = []
+    for row in tnf.sorted_rows():
+        cell = dict(zip(tnf.attributes, row))
+        if cell["REL"] == CORRESPONDENCE_REL and is_correspondence_value(cell["VALUE"]):
+            found.append(decode_correspondence(str(cell["VALUE"])))
+    return tuple(found)
+
+
+def validate_correspondences(
+    correspondences: Sequence[Correspondence], registry: FunctionRegistry
+) -> None:
+    """Check every declaration against the registry (arity + existence)."""
+    for corr in correspondences:
+        corr.check_signature(registry)

@@ -1,0 +1,231 @@
+"""Experiment 2 workload: deep-web query-interface schemas (§5.2).
+
+The paper uses the Books / Automobiles / Music / Movies ("BAMM") schemas of
+the UIUC Web Integration Repository: 55, 55, 49, and 52 deep-web query
+interfaces with 1–8 attributes each.  That repository is not redistributable
+(and this environment is offline), so this module generates a synthetic
+stand-in with the same structure:
+
+* each domain has a vocabulary of *concepts* (title, author, price, ...),
+  each with a canonical attribute name, a set of real-world synonyms, and a
+  shared critical-instance value (the Rosetta Stone principle: all schemas
+  of a domain illustrate the same entity);
+* each query interface draws 1–8 concepts and names each with one of its
+  synonyms; every interface has its own relation name;
+* the *fixed* schema per domain (the mapping source, as in the paper's
+  setup) carries every concept under its canonical name.
+
+Mapping the fixed schema onto an interface therefore requires one relation
+rename plus one attribute rename per synonym-named concept — exactly the
+schema-matching workload of the paper.  Generation is deterministic per
+(domain, seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+
+#: per-domain schema counts reported by the paper
+DOMAIN_SIZES: dict[str, int] = {
+    "Books": 55,
+    "Automobiles": 55,
+    "Music": 49,
+    "Movies": 52,
+}
+
+DOMAIN_NAMES: tuple[str, ...] = tuple(DOMAIN_SIZES)
+
+#: attributes per interface, as in the BAMM dataset
+MIN_ATTRIBUTES = 1
+MAX_ATTRIBUTES = 8
+
+#: probability an interface uses a concept's canonical name.  Real query
+#: interfaces overwhelmingly share the standard names ("Title", "Author",
+#: ...), which is what keeps the paper's per-task mapping depth — and hence
+#: its reported per-domain averages (tens to ~1000 states even for blind
+#: search) — small.
+CANONICAL_NAME_WEIGHT = 0.7
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One queryable concept of a domain.
+
+    Attributes:
+        canonical: attribute name used by the fixed source schema.
+        synonyms: alternative names real interfaces use (canonical included).
+        value: the concept's shared critical-instance value.
+    """
+
+    canonical: str
+    synonyms: tuple[str, ...]
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.canonical not in self.synonyms:
+            object.__setattr__(self, "synonyms", (self.canonical,) + self.synonyms)
+
+
+_VOCABULARIES: dict[str, tuple[Concept, ...]] = {
+    "Books": (
+        Concept("Title", ("BookTitle", "TitleKeyword", "Name"), "Middlemarch"),
+        Concept("Author", ("Writer", "AuthorName", "By"), "GeorgeEliot"),
+        Concept("ISBN", ("ISBNNumber", "ISBN13"), "9780140620962"),
+        Concept("Publisher", ("Press", "PublisherName"), "Penguin"),
+        Concept("Price", ("Cost", "MaxPrice"), "12.99usd"),
+        Concept("Format", ("Binding", "BookFormat"), "Paperback"),
+        Concept("Subject", ("Category", "Genre", "Topic"), "Fiction"),
+        Concept("Year", ("PubYear", "PublicationYear"), "y1871"),
+    ),
+    "Automobiles": (
+        Concept("Make", ("Brand", "Manufacturer"), "Saab"),
+        Concept("Model", ("ModelName", "CarModel"), "NineThree"),
+        Concept("Year", ("ModelYear", "YearOfMake"), "y2003"),
+        Concept("Price", ("MaxPrice", "AskingPrice", "Cost"), "8500usd"),
+        Concept("Mileage", ("Miles", "Odometer"), "72000mi"),
+        Concept("Color", ("ExteriorColor", "Colour"), "Graphite"),
+        Concept("BodyStyle", ("Body", "VehicleType"), "Sedan"),
+        Concept("ZipCode", ("Zip", "PostalCode"), "47401"),
+    ),
+    "Music": (
+        Concept("Artist", ("Band", "ArtistName", "Performer"), "Lucinda"),
+        Concept("Album", ("AlbumTitle", "RecordTitle"), "Essence"),
+        Concept("Song", ("Track", "SongTitle", "TrackName"), "BlueSide"),
+        Concept("Genre", ("Style", "MusicCategory"), "Americana"),
+        Concept("Label", ("RecordLabel", "Imprint"), "LostHighway"),
+        Concept("Year", ("ReleaseYear", "Released"), "y2001"),
+        Concept("Format", ("MediaFormat", "Media"), "CD"),
+        Concept("Price", ("Cost", "MaxPrice"), "9.99usd"),
+    ),
+    "Movies": (
+        Concept("Title", ("MovieTitle", "FilmTitle", "Name"), "Metropolis"),
+        Concept("Director", ("DirectedBy", "FilmMaker"), "FritzLang"),
+        Concept("Actor", ("Star", "CastMember", "Starring"), "BrigitteHelm"),
+        Concept("Genre", ("Category", "FilmGenre"), "SciFi"),
+        Concept("Year", ("ReleaseYear", "Released"), "y1927"),
+        Concept("Rating", ("MPAARating", "Rated"), "NotRated"),
+        Concept("Format", ("MediaFormat", "DiscFormat"), "DVD"),
+        Concept("Studio", ("Distributor", "StudioName"), "UFA"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BammTask:
+    """One mapping task: fixed domain source schema -> one interface.
+
+    ``gold`` records the ground-truth correspondence as (canonical source
+    attribute, interface attribute) pairs — the paper evaluates each
+    algorithm/heuristic "on generating the correct matchings", which this
+    field makes checkable (see ``experiments.quality``).
+    """
+
+    domain: str
+    interface_id: int
+    source: Database
+    target: Database
+    gold: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def target_size(self) -> int:
+        """Number of attributes in the target interface."""
+        return self.target.relations[0].arity
+
+    @property
+    def gold_renames(self) -> tuple[tuple[str, str], ...]:
+        """The gold pairs that require an attribute rename (name differs)."""
+        return tuple(
+            (canonical, used) for canonical, used in self.gold
+            if canonical != used
+        )
+
+
+@dataclass(frozen=True)
+class BammDomain:
+    """One generated domain: the fixed source plus every interface target."""
+
+    name: str
+    source: Database
+    tasks: tuple[BammTask, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def domain_concepts(domain: str) -> tuple[Concept, ...]:
+    """The concept vocabulary of *domain*.
+
+    Raises:
+        KeyError: for unknown domain names.
+    """
+    return _VOCABULARIES[domain]
+
+
+def fixed_source(domain: str) -> Database:
+    """The fixed source schema: every concept under its canonical name."""
+    concepts = domain_concepts(domain)
+    return Database.single(
+        Relation(
+            domain,
+            [c.canonical for c in concepts],
+            [[c.value for c in concepts]],
+        )
+    )
+
+
+def _pick_name(concept: Concept, rng: random.Random) -> str:
+    """Pick the attribute name an interface uses for *concept*."""
+    if rng.random() < CANONICAL_NAME_WEIGHT or len(concept.synonyms) == 1:
+        return concept.canonical
+    alternatives = [s for s in concept.synonyms if s != concept.canonical]
+    return rng.choice(alternatives)
+
+
+def _interface(
+    domain: str, interface_id: int, rng: random.Random
+) -> tuple[Database, tuple[tuple[str, str], ...]]:
+    """Generate one deep-web query interface for *domain* plus its gold
+    (canonical, used-name) correspondence pairs."""
+    concepts = domain_concepts(domain)
+    size = rng.randint(MIN_ATTRIBUTES, min(MAX_ATTRIBUTES, len(concepts)))
+    chosen = rng.sample(list(concepts), size)
+    attributes = [_pick_name(concept, rng) for concept in chosen]
+    values = [concept.value for concept in chosen]
+    name = f"{domain}Q{interface_id:02d}"
+    gold = tuple(
+        sorted((concept.canonical, used) for concept, used in zip(chosen, attributes))
+    )
+    return Database.single(Relation(name, attributes, [values])), gold
+
+
+def bamm_domain(domain: str, seed: int = 2006) -> BammDomain:
+    """Generate one full BAMM domain (deterministic for a given seed)."""
+    if domain not in DOMAIN_SIZES:
+        raise KeyError(
+            f"unknown BAMM domain {domain!r}; expected one of {DOMAIN_NAMES}"
+        )
+    rng = random.Random((seed, domain).__repr__())
+    source = fixed_source(domain)
+    tasks = []
+    for i in range(1, DOMAIN_SIZES[domain] + 1):
+        target, gold = _interface(domain, i, rng)
+        tasks.append(
+            BammTask(
+                domain=domain,
+                interface_id=i,
+                source=source,
+                target=target,
+                gold=gold,
+            )
+        )
+    tasks = tuple(tasks)
+    return BammDomain(name=domain, source=source, tasks=tasks)
+
+
+def bamm_corpus(seed: int = 2006) -> dict[str, BammDomain]:
+    """All four BAMM domains."""
+    return {name: bamm_domain(name, seed) for name in DOMAIN_NAMES}

@@ -1,0 +1,117 @@
+"""The Fig. 1 airline databases and their reference mappings.
+
+Three natural representations of the same flight-price information:
+
+* **FlightsA** — one ``Flights`` table; routes are *columns* (ATL29, ORD17)
+  holding base costs, plus a per-carrier agent ``Fee``;
+* **FlightsB** — one ``Prices`` table; routes are *data* in a ``Route``
+  column with ``Cost`` and ``AgentFee``;
+* **FlightsC** — one table *per carrier* (AirEast, JetWest) with ``Route``,
+  ``BaseCost``, and ``TotalCost = BaseCost + AgentFee``.
+
+Mapping between them exercises everything TUPELO handles: schema matching
+(ρ), dynamic data-metadata restructuring (↑, ℘, µ, π̄), and a complex
+semantic mapping (λ: TotalCost).
+"""
+
+from __future__ import annotations
+
+from ..fira.combine import Merge
+from ..fira.dynamic import Partition, Promote
+from ..fira.expression import MappingExpression
+from ..fira.renames import RenameAttribute, RenameRelation
+from ..fira.semantic import ApplyFunction
+from ..fira.structure import DropAttribute
+from ..relational.database import Database
+from ..semantics.correspondence import Correspondence
+from ..semantics.functions import FunctionRegistry, builtin_registry
+
+
+def flights_a() -> Database:
+    """FlightsA: routes as columns, fee per carrier."""
+    return Database.from_dict(
+        {
+            "Flights": [
+                {"Carrier": "AirEast", "Fee": 15, "ATL29": 100, "ORD17": 110},
+                {"Carrier": "JetWest", "Fee": 16, "ATL29": 200, "ORD17": 220},
+            ]
+        }
+    )
+
+
+def flights_b() -> Database:
+    """FlightsB: fully flat — routes, costs, and fees as data."""
+    return Database.from_dict(
+        {
+            "Prices": [
+                {"Carrier": "AirEast", "Route": "ATL29", "Cost": 100, "AgentFee": 15},
+                {"Carrier": "JetWest", "Route": "ATL29", "Cost": 200, "AgentFee": 16},
+                {"Carrier": "AirEast", "Route": "ORD17", "Cost": 110, "AgentFee": 15},
+                {"Carrier": "JetWest", "Route": "ORD17", "Cost": 220, "AgentFee": 16},
+            ]
+        }
+    )
+
+
+def flights_c() -> Database:
+    """FlightsC: carriers as relation names, TotalCost = Cost + AgentFee."""
+    return Database.from_dict(
+        {
+            "AirEast": [
+                {"Route": "ATL29", "BaseCost": 100, "TotalCost": 115},
+                {"Route": "ORD17", "BaseCost": 110, "TotalCost": 125},
+            ],
+            "JetWest": [
+                {"Route": "ATL29", "BaseCost": 200, "TotalCost": 216},
+                {"Route": "ORD17", "BaseCost": 220, "TotalCost": 236},
+            ],
+        }
+    )
+
+
+def b_to_a_expression() -> MappingExpression:
+    """Example 2 of the paper: the mapping from FlightsB to FlightsA.
+
+    ``R1 := ↑Cost/Route(FlightsB); R2 := π̄Route(π̄Cost(R1));
+    R3 := µCarrier(R2); R4 := ρatt AgentFee→Fee(ρrel Prices→Flights(R3))``
+    """
+    return MappingExpression(
+        [
+            Promote("Prices", "Route", "Cost"),
+            DropAttribute("Prices", "Route"),
+            DropAttribute("Prices", "Cost"),
+            Merge("Prices", "Carrier"),
+            RenameAttribute("Prices", "AgentFee", "Fee"),
+            RenameRelation("Prices", "Flights"),
+        ]
+    )
+
+
+def b_to_c_expression() -> MappingExpression:
+    """A reference mapping from FlightsB to FlightsC.
+
+    Applies the complex function f3 (TotalCost = Cost + AgentFee, Example 5),
+    renames Cost to BaseCost, partitions by Carrier, and drops the
+    partitioned-away and source-only columns.
+    """
+    return MappingExpression(
+        [
+            ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "TotalCost"),
+            RenameAttribute("Prices", "Cost", "BaseCost"),
+            Partition("Prices", "Carrier"),
+            DropAttribute("AirEast", "Carrier"),
+            DropAttribute("AirEast", "AgentFee"),
+            DropAttribute("JetWest", "Carrier"),
+            DropAttribute("JetWest", "AgentFee"),
+        ]
+    )
+
+
+def total_cost_correspondence() -> Correspondence:
+    """The complex correspondence f3: TotalCost <- add(Cost, AgentFee)."""
+    return Correspondence(function="add", inputs=("Cost", "AgentFee"), output="TotalCost")
+
+
+def flights_registry() -> FunctionRegistry:
+    """The function registry used by the Flights scenarios (built-ins)."""
+    return builtin_registry()

@@ -1,0 +1,262 @@
+"""Experiment 3 workload: complex semantic mapping domains (§5.3).
+
+The paper evaluates complex (many-to-one) semantic mapping discovery on the
+Inventory (10 complex mappings) and Real Estate II (12 complex mappings)
+data sets of the Illinois Semantic Integration Archive, measuring states
+examined as the number of declared complex functions grows from 1 to 8.
+The archive is not redistributable; this module builds two synthetic
+domains with the same shape: a realistic source schema, a list of declared
+complex correspondences (sums, products, unit/currency/date conversions,
+concatenations, lookups), and a target built by actually applying the first
+``n`` functions — so the Rosetta Stone principle holds by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.types import Value
+from ..semantics.correspondence import Correspondence
+from ..semantics.functions import FunctionRegistry, builtin_registry, make_lookup
+
+#: complex-function counts measured by the paper (x-axis of Fig. 9)
+PAPER_FUNCTION_COUNTS: tuple[int, ...] = tuple(range(1, 9))
+
+
+@dataclass(frozen=True)
+class SemanticDomain:
+    """A complex-semantic-mapping domain.
+
+    Attributes:
+        name: domain name.
+        source: source critical instance.
+        target_relation: name of the target schema's relation.
+        anchor_attributes: source attributes carried into the target
+            unchanged (the identity part of the mapping).  The Archive-style
+            target schemas carry a direct correspondence for every source
+            attribute, so by default this is the whole source schema — which
+            also means search needs no renames, isolating the λ-placement
+            cost the paper plots in Fig. 9.
+        correspondences: the declared complex mappings, in the order the
+            experiment enables them.
+        registry: function registry containing every referenced function
+            (built-ins plus domain lookups).
+    """
+
+    name: str
+    source: Database
+    target_relation: str
+    anchor_attributes: tuple[str, ...]
+    correspondences: tuple[Correspondence, ...]
+    registry: FunctionRegistry
+
+    @property
+    def max_functions(self) -> int:
+        """Total number of declared complex mappings."""
+        return len(self.correspondences)
+
+    def task(self, n_functions: int) -> "SemanticTask":
+        """The mapping task using the first *n_functions* correspondences.
+
+        The target instance is built by applying those functions to the
+        source rows (plus the anchor attributes), so the task is solvable
+        by ``n_functions`` λ applications.
+
+        Raises:
+            ValueError: if *n_functions* is out of range.
+        """
+        if not 1 <= n_functions <= self.max_functions:
+            raise ValueError(
+                f"n_functions must be in [1, {self.max_functions}], "
+                f"got {n_functions}"
+            )
+        active = self.correspondences[:n_functions]
+        source_rel = self.source.relations[0]
+        attributes = list(self.anchor_attributes) + [c.output for c in active]
+        rows: list[list[Value]] = []
+        for row in source_rel.iter_dicts():
+            out = [row[a] for a in self.anchor_attributes]
+            for corr in active:
+                fn = self.registry.get(corr.function)
+                out.append(fn.apply(*(row[a] for a in corr.inputs)))
+            rows.append(out)
+        target = Database.single(Relation(self.target_relation, attributes, rows))
+        return SemanticTask(
+            domain=self.name,
+            n_functions=n_functions,
+            source=self.source,
+            target=target,
+            correspondences=active,
+            registry=self.registry,
+        )
+
+    def tasks(
+        self, counts: tuple[int, ...] = PAPER_FUNCTION_COUNTS
+    ) -> list["SemanticTask"]:
+        """The Fig. 9 series of tasks (function counts clamped to range)."""
+        return [self.task(n) for n in counts if n <= self.max_functions]
+
+
+@dataclass(frozen=True)
+class SemanticTask:
+    """One complex-mapping discovery task (fixed function count)."""
+
+    domain: str
+    n_functions: int
+    source: Database
+    target: Database
+    correspondences: tuple[Correspondence, ...]
+    registry: FunctionRegistry
+
+
+def inventory_domain() -> SemanticDomain:
+    """The Inventory stand-in: 10 complex mappings over a product table."""
+    source = Database.from_dict(
+        {
+            "Products": [
+                {
+                    "ProductID": "P-1001",
+                    "ProductName": "AnvilSmall",
+                    "Category": "Hardware",
+                    "UnitsInStock": 12,
+                    "UnitsOnOrder": 4,
+                    "ReorderLevel": 20,
+                    "UnitPrice": 4.5,
+                    "WeightLb": 3,
+                    "SupplierName": "AcmeCorp",
+                    "SupplierCity": "Duluth",
+                    "ListedDate": "3/15/2005",
+                },
+                {
+                    "ProductID": "P-2002",
+                    "ProductName": "RocketSkates",
+                    "Category": "Sporting",
+                    "UnitsInStock": 7,
+                    "UnitsOnOrder": 11,
+                    "ReorderLevel": 10,
+                    "UnitPrice": 99.25,
+                    "WeightLb": 8,
+                    "SupplierName": "RoadRunner",
+                    "SupplierCity": "Tucson",
+                    "ListedDate": "11/2/2004",
+                },
+            ]
+        }
+    )
+    registry = builtin_registry()
+    registry.register(
+        make_lookup(
+            "inv_category_code",
+            {"Hardware": "HW", "Sporting": "SP"},
+            "category name to inventory category code",
+        )
+    )
+    registry.register(
+        make_lookup(
+            "inv_sku",
+            {"P-1001": "SKU-88-ANV", "P-2002": "SKU-91-SKT"},
+            "product id to warehouse SKU",
+        )
+    )
+    correspondences = (
+        Correspondence("multiply", ("UnitsInStock", "UnitPrice"), "TotalValue"),
+        Correspondence("add", ("UnitsInStock", "UnitsOnOrder"), "AvailableUnits"),
+        Correspondence("lb_to_kg", ("WeightLb",), "WeightKg"),
+        Correspondence("usd_to_eur", ("UnitPrice",), "PriceEur"),
+        Correspondence("upper", ("ProductName",), "NameUpper"),
+        Correspondence("concat", ("SupplierName", "SupplierCity"), "Supplier"),
+        Correspondence("date_mdy_to_iso", ("ListedDate",), "ListedIso"),
+        Correspondence("subtract", ("ReorderLevel", "UnitsInStock"), "RestockGap"),
+        Correspondence("inv_category_code", ("Category",), "CategoryCode"),
+        Correspondence("inv_sku", ("ProductID",), "Sku"),
+    )
+    return SemanticDomain(
+        name="Inventory",
+        source=source,
+        target_relation="Products",
+        anchor_attributes=tuple(source.relations[0].attributes),
+        correspondences=correspondences,
+        registry=registry,
+    )
+
+
+def real_estate_domain() -> SemanticDomain:
+    """The Real Estate II stand-in: 12 complex mappings over listings."""
+    source = Database.from_dict(
+        {
+            "Listings": [
+                {
+                    "MlsId": "MLS-7741",
+                    "Street": "414 Fess Ave",
+                    "City": "Bloomington",
+                    "Zip": "47401",
+                    "Price": 180000,
+                    "Tax1": 1450,
+                    "Tax2": 310,
+                    "AreaSqft": 1600,
+                    "LotSqft": 7200,
+                    "AgentFirst": "June",
+                    "AgentLast": "Carter",
+                    "ListDate": "6/1/2005",
+                    "CommissionRate": 0.03,
+                    "FullBaths": 2,
+                    "HalfBaths": 1,
+                },
+                {
+                    "MlsId": "MLS-9102",
+                    "Street": "77 Kirkwood St",
+                    "City": "Nashville",
+                    "Zip": "47448",
+                    "Price": 255000,
+                    "Tax1": 2125,
+                    "Tax2": 480,
+                    "AreaSqft": 2250,
+                    "LotSqft": 10500,
+                    "AgentFirst": "Omar",
+                    "AgentLast": "Reyes",
+                    "ListDate": "9/20/2005",
+                    "CommissionRate": 0.025,
+                    "FullBaths": 3,
+                    "HalfBaths": 0,
+                },
+            ]
+        }
+    )
+    registry = builtin_registry()
+    registry.register(
+        make_lookup(
+            "re2_region",
+            {"47401": "Monroe", "47448": "Brown"},
+            "zip code to county/region",
+        )
+    )
+    correspondences = (
+        Correspondence("add", ("Tax1", "Tax2"), "TotalTax"),
+        Correspondence("sqft_to_sqm", ("AreaSqft",), "AreaSqm"),
+        Correspondence("usd_to_eur", ("Price",), "PriceEur"),
+        Correspondence("full_name", ("AgentFirst", "AgentLast"), "Agent"),
+        Correspondence("concat_comma", ("Street", "City"), "Address"),
+        Correspondence("date_mdy_to_iso", ("ListDate",), "ListedIso"),
+        Correspondence("add", ("FullBaths", "HalfBaths"), "Baths"),
+        Correspondence("multiply", ("Price", "CommissionRate"), "Commission"),
+        Correspondence("sqft_to_sqm", ("LotSqft",), "LotSqm"),
+        Correspondence("upper", ("City",), "CityUpper"),
+        Correspondence("re2_region", ("Zip",), "Region"),
+        Correspondence("divide", ("Price", "AreaSqft"), "PricePerSqft"),
+    )
+    return SemanticDomain(
+        name="RealEstateII",
+        source=source,
+        target_relation="Listings",
+        anchor_attributes=tuple(source.relations[0].attributes),
+        correspondences=correspondences,
+        registry=registry,
+    )
+
+
+def semantic_domains() -> dict[str, SemanticDomain]:
+    """Both Experiment-3 domains, keyed by name."""
+    domains = (inventory_domain(), real_estate_domain())
+    return {domain.name: domain for domain in domains}

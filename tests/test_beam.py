@@ -1,0 +1,77 @@
+"""Tests for beam search (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.errors import MappingNotFound
+from repro.heuristics import make_heuristic
+from repro.search import MappingProblem, SearchStats, make_beam
+from repro.workloads import flights_a, flights_b, matching_pair
+
+
+class TestBeamSearch:
+    def test_registered_in_engine(self, db_a):
+        result = discover_mapping(db_a, db_a, algorithm="beam")
+        assert result.found
+
+    def test_solves_small_matching(self):
+        pair = matching_pair(2)
+        result = discover_mapping(pair.source, pair.target, algorithm="beam")
+        assert result.found
+        assert result.expression.apply(pair.source).contains(pair.target)
+
+    def test_solves_flights_restructuring(self):
+        result = discover_mapping(
+            flights_b(), flights_a(), algorithm="beam", heuristic="euclid_norm"
+        )
+        assert result.found
+        assert result.expression.apply(flights_b()).contains(flights_a())
+
+    def test_incomplete_on_heuristic_plateaus(self):
+        """h1 cannot rank the n! rename orderings, so a narrow beam drops
+        every path to the goal — beam search is *incomplete* and reports
+        not_found rather than searching forever."""
+        pair = matching_pair(6)
+        result = discover_mapping(
+            pair.source, pair.target, algorithm="beam", heuristic="h1"
+        )
+        assert result.status == "not_found"
+
+    def test_wider_beam_recovers(self):
+        """A sufficiently wide beam degenerates to breadth-first layering
+        and finds the plateau goal again."""
+        pair = matching_pair(4)
+        problem = MappingProblem(pair.source, pair.target)
+        wide = make_beam(width=100_000)
+        ops = wide(problem, make_heuristic("h1", pair.target), SearchStats())
+        from repro.fira import MappingExpression
+
+        assert MappingExpression(ops).apply(pair.source).contains(pair.target)
+
+    def test_dropped_goal_path_raises_mapping_not_found(self):
+        """Same configuration as test_incomplete_on_heuristic_plateaus but
+        at the algorithm level: the default-width beam drops the goal path
+        among the tied candidates and raises instead of looping.  (Beam
+        width is non-monotone here — a *narrower* beam can survive on
+        tie-break luck — which is exactly the incompleteness story.)"""
+        pair = matching_pair(6)
+        problem = MappingProblem(pair.source, pair.target)
+        with pytest.raises(MappingNotFound):
+            make_beam(width=16)(
+                problem, make_heuristic("h1", pair.target), SearchStats()
+            )
+
+    def test_bounded_memory_layer(self):
+        """The beam never carries more than `width` states per layer, so
+        states examined per depth is bounded by the width."""
+        pair = matching_pair(5)
+        problem = MappingProblem(pair.source, pair.target)
+        stats = SearchStats()
+        try:
+            make_beam(width=4)(problem, make_heuristic("h0", pair.target), stats)
+        except MappingNotFound:
+            pass
+        # layers: 1 + 4 per depth; depth caps at exhaustion
+        assert stats.states_examined <= 1 + 4 * (stats.iterations)

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.relational import load_database_dir, save_database
+from repro.workloads import flights_a, flights_b, flights_c
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    source = tmp_path / "source"
+    target = tmp_path / "target"
+    save_database(flights_b(), source)
+    save_database(flights_a(), target)
+    return source, target, tmp_path
+
+
+class TestDiscover:
+    def test_discover_success(self, dirs, capsys):
+        source, target, _tmp = dirs
+        code = main(
+            [
+                "discover",
+                "--source",
+                str(source),
+                "--target",
+                str(target),
+                "--heuristic",
+                "euclid_norm",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status: found" in out
+        assert "promote[" in out
+
+    def test_discover_writes_replayable_expression(self, dirs, capsys):
+        source, target, tmp = dirs
+        expr_file = tmp / "expr.txt"
+        assert (
+            main(
+                [
+                    "discover",
+                    "--source",
+                    str(source),
+                    "--target",
+                    str(target),
+                    "--heuristic",
+                    "euclid_norm",
+                    "--output",
+                    str(expr_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        out_dir = tmp / "mapped"
+        assert (
+            main(
+                [
+                    "apply",
+                    "--expression",
+                    str(expr_file),
+                    "--source",
+                    str(source),
+                    "--output",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        mapped = load_database_dir(out_dir)
+        assert mapped.contains(flights_a())
+
+    def test_discover_failure_exit_code(self, dirs, capsys):
+        source, target, tmp = dirs
+        # unreachable target: unknown value nowhere in the source
+        unreachable = tmp / "unreachable"
+        save_database(flights_c(), unreachable)
+        code = main(
+            [
+                "discover",
+                "--source",
+                str(source),
+                "--target",
+                str(unreachable),
+                "--budget",
+                "2000",
+            ]
+        )
+        assert code == 1
+        assert "status:" in capsys.readouterr().out
+
+    def test_discover_with_correspondence(self, dirs, capsys):
+        source, _target, tmp = dirs
+        target_c = tmp / "target_c"
+        save_database(flights_c(), target_c)
+        code = main(
+            [
+                "discover",
+                "--source",
+                str(source),
+                "--target",
+                str(target_c),
+                "--correspondence",
+                "TotalCost<-add(Cost,AgentFee)",
+                "--show-matching",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "apply[" in out
+        assert "--[add]->" in out
+
+    def test_show_sql(self, dirs, capsys):
+        source, target, _tmp = dirs
+        code = main(
+            [
+                "discover",
+                "--source",
+                str(source),
+                "--target",
+                str(target),
+                "--heuristic",
+                "cosine",
+                "--show-sql",
+            ]
+        )
+        assert code == 0
+        assert "CREATE TABLE" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_apply_prints_by_default(self, dirs, capsys, tmp_path):
+        source, _target, tmp = dirs
+        expr_file = tmp / "e.txt"
+        expr_file.write_text("rename_rel(Prices -> Quotes)\n")
+        assert (
+            main(["apply", "--expression", str(expr_file), "--source", str(source)])
+            == 0
+        )
+        assert "Quotes:" in capsys.readouterr().out
+
+    def test_tnf(self, dirs, capsys):
+        source, _target, _tmp = dirs
+        assert main(["tnf", "--source", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "TID" in out and "VALUE" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "rbfs" in out and "cosine" in out and "hybrid" in out
+
+    def test_error_reported_cleanly(self, dirs, capsys, tmp_path):
+        source, _target, tmp = dirs
+        bad_expr = tmp / "bad.txt"
+        bad_expr.write_text("frobnicate[R](A)\n")
+        code = main(
+            ["apply", "--expression", str(bad_expr), "--source", str(source)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""Unit tests for correspondence declarations (repro.semantics.correspondence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CorrespondenceError
+from repro.relational import Relation
+from repro.relational.tnf import TNF_ATTRIBUTES
+from repro.semantics import (
+    Correspondence,
+    builtin_registry,
+    correspondences_from_tnf,
+    correspondences_to_tnf_rows,
+    decode_correspondence,
+    encode_correspondence,
+    is_correspondence_value,
+    validate_correspondences,
+)
+
+
+def corr(**overrides):
+    base = dict(
+        function="add", inputs=("Cost", "AgentFee"), output="TotalCost"
+    )
+    base.update(overrides)
+    return Correspondence(**base)
+
+
+class TestCorrespondence:
+    def test_arity(self):
+        assert corr().arity == 2
+
+    def test_inputs_normalized(self):
+        c = Correspondence("f", ["A"], "B")  # type: ignore[arg-type]
+        assert c.inputs == ("A",)
+
+    def test_str_form(self):
+        assert str(corr()) == "TotalCost <- add(Cost, AgentFee)"
+
+    def test_str_with_relation(self):
+        c = corr(relation="Prices")
+        assert str(c) == "Prices.TotalCost <- add(Cost, AgentFee)"
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            corr(function="")
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            corr(inputs=())
+
+    def test_empty_input_name_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            corr(inputs=("A", ""))
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            corr(output="")
+
+    def test_check_signature_ok(self):
+        fn = corr().check_signature(builtin_registry())
+        assert fn.name == "add"
+
+    def test_check_signature_arity_mismatch(self):
+        bad = corr(inputs=("Cost",))
+        with pytest.raises(CorrespondenceError):
+            bad.check_signature(builtin_registry())
+
+    def test_validate_many(self):
+        validate_correspondences([corr()], builtin_registry())
+        with pytest.raises(CorrespondenceError):
+            validate_correspondences(
+                [corr(inputs=("A",))], builtin_registry()
+            )
+
+    def test_hashable_and_ordered(self):
+        assert len({corr(), corr()}) == 1
+        assert sorted([corr(output="Z"), corr(output="A")])
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        assert decode_correspondence(encode_correspondence(corr())) == corr()
+
+    def test_roundtrip_with_relation(self):
+        c = corr(relation="Prices")
+        assert decode_correspondence(encode_correspondence(c)) == c
+
+    def test_roundtrip_unary(self):
+        c = Correspondence("upper", ("Name",), "NameUpper")
+        assert decode_correspondence(encode_correspondence(c)) == c
+
+    def test_format(self):
+        assert encode_correspondence(corr()) == (
+            "λ:TotalCost<-add(Cost,AgentFee)"
+        )
+
+    def test_is_correspondence_value(self):
+        assert is_correspondence_value(encode_correspondence(corr()))
+        assert not is_correspondence_value("plain text")
+        assert not is_correspondence_value(42)
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            decode_correspondence("not a lambda")
+
+
+class TestTnfEmbedding:
+    def test_rows_shape(self):
+        rows = correspondences_to_tnf_rows([corr()])
+        assert len(rows) == 1
+        tid, rel, att, value = rows[0]
+        assert tid == "c1"
+        assert value.startswith("λ:")
+
+    def test_embed_and_extract(self, db_b):
+        from repro.relational import tnf_encode
+
+        base = tnf_encode(db_b)
+        extra = correspondences_to_tnf_rows([corr()])
+        combined = Relation(
+            "TNF", TNF_ATTRIBUTES, list(base.rows) + extra
+        )
+        found = correspondences_from_tnf(combined)
+        assert found == (corr(),)
+
+    def test_duplicates_deduplicated(self):
+        rows = correspondences_to_tnf_rows([corr(), corr()])
+        assert len(rows) == 1
+
+    def test_extract_requires_tnf_schema(self):
+        bad = Relation("X", ("A", "B"), [(1, 2)])
+        with pytest.raises(CorrespondenceError):
+            correspondences_from_tnf(bad)

@@ -1,0 +1,111 @@
+"""Unit tests for CSV I/O (repro.relational.csvio)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    NULL,
+    Database,
+    Relation,
+)
+from repro.relational.csvio import (
+    database_from_mapping,
+    load_database_dir,
+    load_relation,
+    parse_value,
+    relation_from_csv,
+    relation_to_csv,
+    save_database,
+    save_relation,
+)
+
+
+class TestParseValue:
+    def test_empty_is_null(self):
+        assert parse_value("") is NULL
+
+    def test_literal_null(self):
+        assert parse_value("NULL") is NULL
+
+    def test_int(self):
+        assert parse_value("42") == 42
+
+    def test_negative_int(self):
+        assert parse_value("-3") == -3
+
+    def test_float(self):
+        assert parse_value("1.5") == 1.5
+
+    def test_bool(self):
+        assert parse_value("true") is True
+        assert parse_value("False") is False
+
+    def test_string_fallback(self):
+        assert parse_value("ATL29") == "ATL29"
+
+    def test_numeric_looking_string_with_spaces(self):
+        assert parse_value("1 2") == "1 2"
+
+
+class TestRelationCsv:
+    def test_parse_header_and_rows(self):
+        r = relation_from_csv("R", "A,B\n1,x\n2,y\n")
+        assert r.attribute_set == {"A", "B"}
+        assert (1, "x") in r.rows
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv("R", "")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv("R", "A,B\n1\n")
+
+    def test_roundtrip(self, db_b):
+        rel = db_b.relation("Prices")
+        again = relation_from_csv("Prices", relation_to_csv(rel))
+        assert again == rel
+
+    def test_roundtrip_null(self):
+        rel = Relation("R", ("A", "B"), [(1, NULL)])
+        again = relation_from_csv("R", relation_to_csv(rel))
+        assert again == rel
+
+    def test_quoted_commas(self):
+        r = relation_from_csv("R", 'A,B\n"x,y",2\n')
+        assert ("x,y", 2) in r.rows
+
+
+class TestFiles:
+    def test_save_and_load_relation(self, tmp_path, db_a):
+        rel = db_a.relation("Flights")
+        path = tmp_path / "Flights.csv"
+        save_relation(rel, path)
+        assert load_relation(path) == rel
+
+    def test_load_relation_name_from_stem(self, tmp_path):
+        path = tmp_path / "MyTable.csv"
+        path.write_text("A\n1\n")
+        assert load_relation(path).name == "MyTable"
+
+    def test_save_and_load_database(self, tmp_path, db_c):
+        save_database(db_c, tmp_path)
+        assert load_database_dir(tmp_path) == db_c
+
+    def test_save_database_returns_paths(self, tmp_path, db_c):
+        paths = save_database(db_c, tmp_path)
+        assert sorted(p.name for p in paths) == ["AirEast.csv", "JetWest.csv"]
+
+
+class TestDatabaseFromMapping:
+    def test_builds_relations(self):
+        db = database_from_mapping({"R": "A\n1\n", "S": "B\nx\n"})
+        assert db.relation_names == ("R", "S")
+        assert db.relation("R").rows == {(1,)}
+
+    def test_equivalent_to_constructor(self, db_a):
+        rel = db_a.relation("Flights")
+        db = database_from_mapping({"Flights": relation_to_csv(rel)})
+        assert db == Database.single(rel)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.relational.database.Database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NameCollisionError, SchemaError, UnknownRelationError
+from repro.relational import NULL, Database, Relation
+
+
+def make_db():
+    return Database(
+        [
+            Relation("R", ("A", "B"), [(1, "x")]),
+            Relation("S", ("C",), [("y",)]),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_relations_sorted_by_name(self):
+        db = Database([Relation("Z", ("A",), []), Relation("A", ("A",), [])])
+        assert db.relation_names == ("A", "Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([Relation("R", ("A",), []), Relation("R", ("B",), [])])
+
+    def test_non_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Database(["not a relation"])  # type: ignore[list-item]
+
+    def test_from_dict(self, db_b):
+        assert db_b.relation_names == ("Prices",)
+        assert db_b.relation("Prices").cardinality == 4
+
+    def test_single(self):
+        db = Database.single(Relation("R", ("A",), [(1,)]))
+        assert len(db) == 1
+
+    def test_empty_database(self):
+        db = Database()
+        assert len(db) == 0
+        assert not db
+
+
+class TestAccessors:
+    def test_relation_lookup(self):
+        assert make_db().relation("R").name == "R"
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError) as err:
+            make_db().relation("Q")
+        assert err.value.name == "Q"
+        assert "R" in err.value.available
+
+    def test_has_relation(self):
+        db = make_db()
+        assert db.has_relation("R")
+        assert not db.has_relation("Q")
+
+    def test_total_tuples(self):
+        assert make_db().total_tuples == 2
+
+    def test_attribute_names_union(self):
+        assert make_db().attribute_names() == {"A", "B", "C"}
+
+    def test_value_set_union(self):
+        assert make_db().value_set() == {1, "x", "y"}
+
+    def test_has_nulls(self):
+        assert not make_db().has_nulls
+        db = Database.single(Relation("R", ("A",), [(NULL,)]))
+        assert db.has_nulls
+
+
+class TestDerivations:
+    def test_with_relation_adds(self):
+        db = make_db().with_relation(Relation("T", ("D",), []))
+        assert db.has_relation("T")
+        assert len(db) == 3
+
+    def test_with_relation_replaces(self):
+        db = make_db().with_relation(Relation("R", ("Z",), [(0,)]))
+        assert db.relation("R").attributes == ("Z",)
+
+    def test_with_relation_no_replace(self):
+        with pytest.raises(NameCollisionError):
+            make_db().with_relation(Relation("R", ("Z",), []), replace=False)
+
+    def test_with_relations(self):
+        db = make_db().with_relations(
+            [Relation("T", ("D",), []), Relation("U", ("E",), [])]
+        )
+        assert len(db) == 4
+
+    def test_without_relation(self):
+        db = make_db().without_relation("S")
+        assert db.relation_names == ("R",)
+
+    def test_without_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            make_db().without_relation("Q")
+
+    def test_rename_relation(self):
+        db = make_db().rename_relation("R", "Renamed")
+        assert db.has_relation("Renamed")
+        assert not db.has_relation("R")
+
+    def test_rename_relation_identity(self):
+        db = make_db()
+        assert db.rename_relation("R", "R") is db
+
+    def test_rename_relation_collision(self):
+        with pytest.raises(NameCollisionError):
+            make_db().rename_relation("R", "S")
+
+    def test_original_unchanged(self):
+        db = make_db()
+        db.with_relation(Relation("T", ("D",), []))
+        assert not db.has_relation("T")
+
+
+class TestEqualityContainment:
+    def test_equality_order_independent(self):
+        left = Database([Relation("A", ("X",), [(1,)]), Relation("B", ("Y",), [(2,)])])
+        right = Database([Relation("B", ("Y",), [(2,)]), Relation("A", ("X",), [(1,)])])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_not_equal_different_rows(self):
+        left = Database.single(Relation("A", ("X",), [(1,)]))
+        right = Database.single(Relation("A", ("X",), [(2,)]))
+        assert left != right
+
+    def test_contains_self(self, db_a):
+        assert db_a.contains(db_a)
+
+    def test_contains_requires_names(self):
+        container = Database.single(Relation("R", ("A",), [(1,)]))
+        needle = Database.single(Relation("Other", ("A",), [(1,)]))
+        assert not container.contains(needle)
+
+    def test_contains_projection(self):
+        container = Database.single(Relation("R", ("A", "B"), [(1, 2)]))
+        needle = Database.single(Relation("R", ("A",), [(1,)]))
+        assert container.contains(needle)
+        assert not needle.contains(container)
+
+    def test_contains_extra_relations_ok(self):
+        container = make_db()
+        needle = Database.single(Relation("S", ("C",), [("y",)]))
+        assert container.contains(needle)
+
+    def test_contains_empty_database(self, db_a):
+        assert db_a.contains(Database())
+
+    def test_repr_and_text(self):
+        db = make_db()
+        assert "R(2x1)" in repr(db)
+        assert "S:" in db.to_text()

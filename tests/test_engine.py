@@ -1,0 +1,130 @@
+"""Unit tests for the TUPELO facade (discover_mapping / Tupelo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ALGORITHM_NAMES,
+    Database,
+    Relation,
+    SearchConfig,
+    Tupelo,
+    discover_mapping,
+)
+from repro.errors import UnknownAlgorithmError, UnknownHeuristicError
+from repro.workloads import (
+    flights_registry,
+    matching_pair,
+    total_cost_correspondence,
+)
+
+
+class TestDiscoverMapping:
+    def test_found_result(self, db_a, db_b):
+        result = discover_mapping(db_b, db_a, heuristic="euclid_norm")
+        assert result.found
+        assert result.status == "found"
+        assert result.expression.apply(db_b).contains(db_a)
+        assert result.states_examined > 0
+        assert result.algorithm == "rbfs"
+        assert result.heuristic == "euclid_norm"
+
+    def test_identity_mapping(self, db_a):
+        result = discover_mapping(db_a, db_a)
+        assert result.found
+        assert result.expression.is_identity
+        assert result.states_examined == 1
+
+    def test_not_found(self):
+        source = Database.single(Relation("R", ("A",), [("x",)]))
+        target = Database.single(Relation("R", ("A",), [("unreachable",)]))
+        result = discover_mapping(source, target)
+        assert not result.found
+        assert result.status == "not_found"
+        assert result.expression is None
+
+    def test_budget_exceeded(self):
+        pair = matching_pair(8)
+        result = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm="ida",
+            heuristic="h0",
+            config=SearchConfig(max_states=10),
+        )
+        assert result.status == "budget_exceeded"
+        assert result.states_examined == 11
+
+    def test_unknown_algorithm(self, db_a):
+        with pytest.raises(UnknownAlgorithmError):
+            discover_mapping(db_a, db_a, algorithm="dfs")
+
+    def test_unknown_heuristic(self, db_a):
+        with pytest.raises(UnknownHeuristicError):
+            discover_mapping(db_a, db_a, heuristic="nope")
+
+    def test_algorithm_case_insensitive(self, db_a):
+        assert discover_mapping(db_a, db_a, algorithm="RBFS").found
+
+    def test_lambda_discovery(self, db_b, db_c):
+        result = discover_mapping(
+            db_b,
+            db_c,
+            correspondences=[total_cost_correspondence()],
+            registry=flights_registry(),
+        )
+        assert result.found
+        mapped = result.expression.apply(db_b, flights_registry())
+        assert mapped.contains(db_c)
+
+    def test_simplify_produces_minimal_expression(self, db_b, db_c):
+        result = discover_mapping(
+            db_b, db_c, correspondences=[total_cost_correspondence()]
+        )
+        # minimal pipeline: lambda + rename + partition + rename = 4 ops
+        assert len(result.expression) <= 5
+
+    def test_simplify_disabled_keeps_raw_path(self, db_b, db_c):
+        raw = discover_mapping(
+            db_b,
+            db_c,
+            correspondences=[total_cost_correspondence()],
+            simplify=False,
+        )
+        simplified = discover_mapping(
+            db_b, db_c, correspondences=[total_cost_correspondence()]
+        )
+        assert len(simplified.expression) <= len(raw.expression)
+
+    def test_stats_clock_stopped(self, db_a):
+        result = discover_mapping(db_a, db_a)
+        assert result.stats.elapsed_seconds >= 0
+
+    def test_repr(self, db_a):
+        assert "found" in repr(discover_mapping(db_a, db_a))
+
+
+class TestTupeloFacade:
+    def test_reusable(self, db_a, db_b):
+        engine = Tupelo(algorithm="rbfs", heuristic="cosine")
+        assert engine.discover(db_b, db_a).found
+        assert engine.discover(db_a, db_a).found
+
+    def test_invalid_algorithm_at_construction(self):
+        with pytest.raises(UnknownAlgorithmError):
+            Tupelo(algorithm="bogus")
+
+    def test_registry_and_correspondences(self, db_b, db_c):
+        engine = Tupelo(registry=flights_registry())
+        result = engine.discover(
+            db_b, db_c, correspondences=[total_cost_correspondence()]
+        )
+        assert result.found
+
+    def test_all_registered_algorithms_usable(self, db_a):
+        for name in ALGORITHM_NAMES:
+            assert Tupelo(algorithm=name).discover(db_a, db_a).found
+
+    def test_repr(self):
+        assert "rbfs" in repr(Tupelo())

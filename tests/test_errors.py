@@ -1,0 +1,88 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CorrespondenceError,
+    ExpressionParseError,
+    MappingNotFound,
+    NameCollisionError,
+    OperatorApplicationError,
+    RelationalError,
+    SchemaError,
+    SearchBudgetExceeded,
+    SearchError,
+    SemanticError,
+    SignatureError,
+    TNFError,
+    TransformError,
+    TupeloError,
+    UnknownAlgorithmError,
+    UnknownAttributeError,
+    UnknownFunctionError,
+    UnknownHeuristicError,
+    UnknownRelationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            UnknownRelationError,
+            UnknownAttributeError,
+            TNFError,
+            OperatorApplicationError,
+            NameCollisionError,
+            ExpressionParseError,
+            UnknownFunctionError,
+            SignatureError,
+            CorrespondenceError,
+            UnknownHeuristicError,
+            UnknownAlgorithmError,
+            SearchBudgetExceeded,
+            MappingNotFound,
+        ],
+    )
+    def test_everything_is_a_tupelo_error(self, exc):
+        assert issubclass(exc, TupeloError)
+
+    def test_sub_hierarchies(self):
+        assert issubclass(SchemaError, RelationalError)
+        assert issubclass(NameCollisionError, TransformError)
+        assert issubclass(UnknownFunctionError, SemanticError)
+        assert issubclass(MappingNotFound, SearchError)
+
+    def test_single_except_catches_all(self):
+        with pytest.raises(TupeloError):
+            raise SearchBudgetExceeded(10, 11)
+
+
+class TestMessages:
+    def test_unknown_relation_lists_available(self):
+        err = UnknownRelationError("X", ("A", "B"))
+        assert "X" in str(err) and "A, B" in str(err)
+
+    def test_unknown_attribute_names_relation(self):
+        err = UnknownAttributeError("Col", "Rel", ("A",))
+        assert "Col" in str(err) and "Rel" in str(err)
+
+    def test_parse_error_position(self):
+        err = ExpressionParseError("bad", text="xyz", position=2)
+        assert "position 2" in str(err)
+
+    def test_budget_exceeded_carries_numbers(self):
+        err = SearchBudgetExceeded(100, 101)
+        assert err.budget == 100
+        assert err.states_examined == 101
+        assert "100" in str(err)
+
+    def test_unknown_heuristic_suggests(self):
+        err = UnknownHeuristicError("cosinee", ("cosine", "h1"))
+        assert "cosine" in str(err)
+
+    def test_unknown_function(self):
+        assert "frob" in str(UnknownFunctionError("frob"))

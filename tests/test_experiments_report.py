@@ -1,0 +1,105 @@
+"""Tests for report rendering and calibration (repro.experiments)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    CalibrationTask,
+    ExperimentPoint,
+    ExperimentSeries,
+    ascii_table,
+    averages_table,
+    calibrate,
+    calibration_tasks,
+    format_states,
+    log_bucket,
+    series_table,
+    total_states,
+)
+
+
+class TestFormatting:
+    def test_format_states(self):
+        assert format_states(42) == "42"
+        assert format_states(1000, found=False) == ">1000"
+
+    def test_log_bucket(self):
+        assert log_bucket(1) == "10^0"
+        assert log_bucket(999) == "10^2"
+        assert log_bucket(1000) == "10^3"
+        assert log_bucket(0) == "10^0"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["name", "n"], [["abc", 1], ["x", 20]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = ascii_table(["a"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+
+class TestSeriesTable:
+    def test_union_of_x_values(self):
+        left = ExperimentSeries(
+            "L",
+            (ExperimentPoint(1, 10, "found"), ExperimentPoint(2, 20, "found")),
+        )
+        right = ExperimentSeries("R", (ExperimentPoint(2, 5, "found"),))
+        text = series_table([left, right], x_label="n")
+        lines = text.splitlines()
+        assert "L" in lines[0] and "R" in lines[0]
+        assert any("-" in line for line in lines[2:])  # missing x=1 for R
+
+    def test_cutoff_marked(self):
+        series = ExperimentSeries(
+            "S", (ExperimentPoint(3, 500, "budget_exceeded"),)
+        )
+        assert ">500" in series_table([series], x_label="n")
+
+
+class TestAveragesTable:
+    def test_rows_and_columns(self):
+        table = averages_table(
+            {"h0": {"Books": 100.0, "Music": 50.0}, "h1": {"Books": 10.0}}
+        )
+        lines = table.splitlines()
+        assert "Books" in lines[0] and "Music" in lines[0]
+        assert "100.0" in table
+        assert "-" in table  # h1/Music missing
+
+
+class TestCalibration:
+    def test_tasks_mixture(self):
+        tasks = calibration_tasks(matching_sizes=(2, 3), bamm_samples=2)
+        names = [task.name for task in tasks]
+        assert names[0].startswith("match-") and names[-1].startswith("bamm-")
+        assert len(tasks) == 4
+
+    def test_total_states_positive(self):
+        tasks = calibration_tasks(matching_sizes=(2,), bamm_samples=1)
+        cost = total_states("rbfs", "cosine", k=5, tasks=tasks, budget=5000)
+        assert cost > 0
+
+    def test_calibrate_picks_minimum(self):
+        tasks = calibration_tasks(matching_sizes=(2, 3), bamm_samples=1)
+        best, costs = calibrate(
+            "rbfs", "cosine", grid=(2, 8, 16), tasks=tasks, budget=5000
+        )
+        assert best in (2, 8, 16)
+        assert costs[best] == min(costs.values())
+
+    def test_calibrate_tie_breaks_small(self):
+        tasks = [
+            CalibrationTask(
+                "trivial",
+                calibration_tasks(matching_sizes=(2,), bamm_samples=0)[0].source,
+                calibration_tasks(matching_sizes=(2,), bamm_samples=0)[0].source,
+            )
+        ]
+        best, costs = calibrate("rbfs", "cosine", grid=(3, 7), tasks=tasks)
+        assert best == 3
+        assert costs[3] == costs[7]

@@ -1,0 +1,99 @@
+"""Unit tests for MappingExpression (repro.fira.expression)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fira import (
+    DropAttribute,
+    MappingExpression,
+    Merge,
+    Promote,
+    RenameAttribute,
+    RenameRelation,
+    equivalent_on,
+    expression_of,
+)
+from repro.workloads import b_to_a_expression, flights_a, flights_b
+
+
+class TestPipeline:
+    def test_example2_reproduces_flights_a(self, db_a, db_b):
+        out = b_to_a_expression().apply(db_b)
+        assert out == db_a
+
+    def test_trace_shows_intermediates(self, db_b):
+        states = b_to_a_expression().trace(db_b)
+        assert len(states) == 7  # input + 6 steps
+        assert states[0] == db_b
+        assert states[1].relation("Prices").has_attribute("ATL29")
+
+    def test_empty_expression_is_identity(self, db_b):
+        assert MappingExpression().apply(db_b) == db_b
+        assert MappingExpression().is_identity
+
+    def test_then_appends(self):
+        expr = MappingExpression().then(RenameRelation("A", "B"))
+        assert len(expr) == 1
+        assert expr[0] == RenameRelation("A", "B")
+
+    def test_compose(self):
+        left = expression_of(RenameRelation("A", "B"))
+        right = expression_of(RenameRelation("B", "C"))
+        combined = left.compose(right)
+        assert [op.old for op in combined] == ["A", "B"]  # type: ignore[attr-defined]
+
+    def test_prefix(self):
+        expr = b_to_a_expression()
+        assert len(expr.prefix(2)) == 2
+        assert expr.prefix(0).is_identity
+
+    def test_iteration_and_index(self):
+        expr = b_to_a_expression()
+        assert list(expr)[0] == expr[0]
+        assert isinstance(expr[0], Promote)
+
+    def test_equality_and_hash(self):
+        assert b_to_a_expression() == b_to_a_expression()
+        assert hash(b_to_a_expression()) == hash(b_to_a_expression())
+        assert b_to_a_expression() != MappingExpression()
+
+    def test_immutable_then(self):
+        expr = MappingExpression()
+        expr.then(RenameRelation("A", "B"))
+        assert expr.is_identity
+
+
+class TestRendering:
+    def test_str_one_op_per_line(self):
+        text = str(b_to_a_expression())
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("promote[Prices]")
+
+    def test_unicode_numbered_steps(self):
+        text = b_to_a_expression().to_unicode()
+        assert text.splitlines()[0].startswith("R1 := ↑")
+        assert "R6 := ρrel" in text
+
+    def test_repr(self):
+        assert "6 ops" in repr(b_to_a_expression())
+
+
+class TestEquivalence:
+    def test_reordered_drops_equivalent(self, db_b):
+        base = [
+            Promote("Prices", "Route", "Cost"),
+            DropAttribute("Prices", "Route"),
+            DropAttribute("Prices", "Cost"),
+            Merge("Prices", "Carrier"),
+        ]
+        swapped = [base[0], base[2], base[1], base[3]]
+        assert equivalent_on(
+            MappingExpression(base), MappingExpression(swapped), [db_b]
+        )
+
+    def test_inequivalent_detected(self, db_b):
+        left = expression_of(RenameAttribute("Prices", "Cost", "X"))
+        right = expression_of(RenameAttribute("Prices", "Cost", "Y"))
+        assert not equivalent_on(left, right, [db_b])

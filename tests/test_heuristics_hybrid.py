@@ -1,0 +1,61 @@
+"""Tests for the hybrid content+structure heuristic (extension)."""
+
+from __future__ import annotations
+
+from repro import discover_mapping
+from repro.heuristics import (
+    CosineHeuristic,
+    HybridHeuristic,
+    MissingTokensHeuristic,
+    make_heuristic,
+)
+from repro.workloads import bamm_domain, flights_a, flights_b, matching_pair
+
+
+class TestHybridHeuristic:
+    def test_registered(self, db_a):
+        h = make_heuristic("hybrid", db_a)
+        assert isinstance(h, HybridHeuristic)
+
+    def test_zero_on_target(self, db_a):
+        assert HybridHeuristic(db_a)(db_a) == 0
+
+    def test_is_pointwise_max(self, db_a, db_b):
+        hybrid = HybridHeuristic(db_a, k=12)
+        h1 = MissingTokensHeuristic(db_a)
+        cosine = CosineHeuristic(db_a, k=12)
+        for state in (db_a, db_b):
+            assert hybrid(state) == max(h1(state), cosine(state))
+
+    def test_dominates_components(self, db_a, db_b):
+        """max of two lower bounds is a tighter (still >=) estimate."""
+        hybrid = HybridHeuristic(db_a, k=12)
+        h1 = MissingTokensHeuristic(db_a)
+        assert hybrid(db_b) >= h1(db_b)
+
+    def test_solves_matching(self):
+        pair = matching_pair(6)
+        result = discover_mapping(pair.source, pair.target, heuristic="hybrid")
+        assert result.found
+
+    def test_solves_flights_restructuring(self):
+        result = discover_mapping(
+            flights_b(), flights_a(), heuristic="hybrid"
+        )
+        assert result.found
+        assert result.expression.apply(flights_b()).contains(flights_a())
+
+    def test_no_worse_than_h1_on_hard_bamm_task(self):
+        """The content component breaks h1's rename plateaus."""
+        domain = bamm_domain("Automobiles")
+        hardest = max(domain.tasks, key=lambda t: t.target_size)
+        h1_result = discover_mapping(
+            hardest.source, hardest.target, heuristic="h1"
+        )
+        hybrid_result = discover_mapping(
+            hardest.source, hardest.target, heuristic="hybrid"
+        )
+        assert hybrid_result.found
+        assert (
+            hybrid_result.states_examined <= h1_result.states_examined
+        )

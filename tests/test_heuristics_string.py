@@ -1,0 +1,80 @@
+"""Unit tests for the Levenshtein string-view heuristic (§3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heuristics import LevenshteinHeuristic, levenshtein, round_half_up
+from repro.relational import Database, Relation
+
+
+class TestLevenshteinDistance:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_cases(self):
+        assert levenshtein("", "") == 0
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "abcd") == 4
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_symmetric(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw") == 2
+
+    def test_insert_delete(self):
+        assert levenshtein("abc", "abxc") == 1
+        assert levenshtein("abxc", "abc") == 1
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "route", "router", "outer"
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestRounding:
+    def test_half_up(self):
+        assert round_half_up(0.5) == 1
+        assert round_half_up(1.5) == 2
+        assert round_half_up(1.4) == 1
+
+    def test_negative_half_away(self):
+        assert round_half_up(-0.5) == -1
+        assert round_half_up(-1.4) == -1
+
+
+class TestLevenshteinHeuristic:
+    def test_zero_on_target(self, db_a):
+        assert LevenshteinHeuristic(db_a)(db_a) == 0
+
+    def test_bounded_by_k(self, db_a, db_b):
+        h = LevenshteinHeuristic(db_a, k=11)
+        assert 0 <= h(db_b) <= 11
+
+    def test_scaling_constant(self, db_a, db_b):
+        small = LevenshteinHeuristic(db_a, k=5)(db_b)
+        large = LevenshteinHeuristic(db_a, k=20)(db_b)
+        assert large >= small
+
+    def test_k_below_one_rejected(self, db_a):
+        with pytest.raises(ValueError):
+            LevenshteinHeuristic(db_a, k=0.5)
+
+    def test_default_k_is_paper_ida_value(self, db_a):
+        assert LevenshteinHeuristic(db_a).k == 11
+
+    def test_monotone_under_growing_difference(self):
+        target = Database.single(Relation("R", ("A",), [("aaaa",)]))
+        near = Database.single(Relation("R", ("A",), [("aaab",)]))
+        far = Database.single(Relation("R", ("A",), [("zzzz",)]))
+        h = LevenshteinHeuristic(target, k=10)
+        assert h(near) <= h(far)
+
+    def test_database_order_irrelevant(self):
+        """The string view sorts TNF rows, so tuple order cannot matter."""
+        target = Database.single(Relation("R", ("A",), [("x",), ("y",)]))
+        state1 = Database.single(Relation("R", ("A",), [("y",), ("x",)]))
+        assert LevenshteinHeuristic(target)(state1) == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the term-vector heuristics (§3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.heuristics import (
+    CosineHeuristic,
+    EuclideanHeuristic,
+    NormalizedEuclideanHeuristic,
+    cosine_similarity,
+    euclidean_distance,
+    term_vector,
+    vector_norm,
+)
+from repro.relational import Database, Relation
+
+
+def db(name, attrs, rows):
+    return Database.single(Relation(name, attrs, rows))
+
+
+class TestTermVector:
+    def test_counts_triples(self, db_c):
+        vector = term_vector(db_c)
+        assert vector[("AirEast", "Route", "ATL29")] == 1
+        assert sum(vector.values()) == 12
+
+    def test_repeated_triples_counted(self):
+        d = db("R", ("A", "B"), [("x", 1), ("x", 2)])
+        vector = term_vector(d)
+        assert vector[("R", "A", "x")] == 2
+
+    def test_values_textified(self):
+        d = db("R", ("A",), [(100,)])
+        assert ("R", "A", "100") in term_vector(d)
+
+
+class TestVectorMath:
+    def test_distance_to_self_zero(self, db_b):
+        v = term_vector(db_b)
+        assert euclidean_distance(v, v) == 0
+
+    def test_distance_simple(self):
+        left = term_vector(db("R", ("A",), [("x",)]))
+        right = term_vector(db("R", ("A",), [("y",)]))
+        assert euclidean_distance(left, right) == pytest.approx(math.sqrt(2))
+
+    def test_norm(self):
+        v = term_vector(db("R", ("A",), [("x",), ("y",)]))
+        assert vector_norm(v) == pytest.approx(math.sqrt(2))
+
+    def test_cosine_identity(self, db_a):
+        v = term_vector(db_a)
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        left = term_vector(db("R", ("A",), [("x",)]))
+        right = term_vector(db("R", ("A",), [("y",)]))
+        assert cosine_similarity(left, right) == 0.0
+
+    def test_cosine_range(self, db_a, db_b):
+        sim = cosine_similarity(term_vector(db_a), term_vector(db_b))
+        assert 0.0 <= sim <= 1.0
+
+
+class TestEuclideanHeuristic:
+    def test_zero_on_target(self, db_b):
+        assert EuclideanHeuristic(db_b)(db_b) == 0
+
+    def test_counts_differing_cells(self):
+        target = db("R", ("A",), [("x",)])
+        state = db("R", ("A",), [("y",)])
+        assert EuclideanHeuristic(target)(state) == 1  # round(sqrt(2))
+
+    def test_no_scaling_constant(self, db_a):
+        h = EuclideanHeuristic(db_a)
+        assert not hasattr(h, "k")
+
+
+class TestNormalizedEuclidean:
+    def test_zero_on_target(self, db_b):
+        assert NormalizedEuclideanHeuristic(db_b)(db_b) == 0
+
+    def test_bounded_by_k_times_sqrt2(self, db_a, db_b):
+        h = NormalizedEuclideanHeuristic(db_a, k=7)
+        # unit vectors differ by at most sqrt(2)
+        assert 0 <= h(db_b) <= round(7 * math.sqrt(2)) + 1
+
+    def test_paper_default_k(self, db_a):
+        assert NormalizedEuclideanHeuristic(db_a).k == 7
+
+    def test_scale_invariance_of_direction(self):
+        """A state with the same cell *proportions* scores 0."""
+        target = db("R", ("A",), [("x",)])
+        doubled = db("R", ("A",), [("x",)])  # same single triple
+        assert NormalizedEuclideanHeuristic(target, k=10)(doubled) == 0
+
+
+class TestCosineHeuristic:
+    def test_zero_on_target(self, db_c):
+        assert CosineHeuristic(db_c)(db_c) == 0
+
+    def test_max_for_disjoint(self):
+        target = db("R", ("A",), [("x",)])
+        state = db("R", ("A",), [("y",)])
+        assert CosineHeuristic(target, k=5)(state) == 5
+
+    def test_paper_default_k(self, db_a):
+        assert CosineHeuristic(db_a).k == 5
+
+    def test_decreases_toward_target(self, db_a, db_b):
+        """Promoting routes moves B's vector closer to A's."""
+        from repro.fira import Promote
+
+        h = CosineHeuristic(db_a, k=24)
+        promoted = Promote("Prices", "Route", "Cost").apply(db_b)
+        assert h(promoted) <= h(db_b)

@@ -1,0 +1,173 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the whole system the way a downstream user would: build
+critical instances, discover a mapping, execute the expression on a *larger*
+instance of the source schema, compile to SQL, round-trip through TNF and
+the textual syntax.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    Relation,
+    SearchConfig,
+    Tupelo,
+    compile_expression,
+    discover_mapping,
+    parse_expression,
+    tnf_decode,
+    tnf_encode,
+)
+from repro.workloads import (
+    bamm_domain,
+    flights_a,
+    flights_b,
+    flights_registry,
+    inventory_domain,
+    total_cost_correspondence,
+)
+
+
+class TestDiscoverThenApplyToFullData:
+    """The critical-instance workflow: discover on small examples, run on
+    the real (bigger) data."""
+
+    def test_bamm_style_schema_matching(self):
+        domain = bamm_domain("Books")
+        task = domain.tasks[1]
+        result = discover_mapping(task.source, task.target, heuristic="cosine")
+        assert result.found
+
+        # a "production" instance with many more tuples than the critical one
+        source_rel = task.source.relations[0]
+        big_rows = []
+        for i in range(25):
+            row = dict(next(iter(source_rel.iter_dicts())))
+            row["Title"] = f"Book{i:02d}"
+            big_rows.append(row)
+        big_source = Database.single(
+            Relation.from_dicts(source_rel.name, big_rows, source_rel.attributes)
+        )
+        mapped = result.expression.apply(big_source)
+        target_rel_name = task.target.relation_names[0]
+        assert mapped.relation(target_rel_name).cardinality == 25
+
+    def test_flights_full_route_network(self, db_a, db_b):
+        """Discover B->A on the Fig. 1 critical instances, then run it on a
+        larger network with a third route and carrier."""
+        result = discover_mapping(db_b, db_a, heuristic="euclid_norm")
+        assert result.found
+
+        # a valid schema-B instance: AgentFee is functionally determined by
+        # the carrier (it is a per-carrier column in schema A)
+        fees = {"AirEast": 15, "JetWest": 16}
+        bigger = Database.from_dict(
+            {
+                "Prices": [
+                    {"Carrier": c, "Route": r, "Cost": 100 * k, "AgentFee": fees[c]}
+                    for k, (c, r) in enumerate(
+                        [
+                            ("AirEast", "ATL29"),
+                            ("AirEast", "ORD17"),
+                            ("JetWest", "ATL29"),
+                            ("JetWest", "ORD17"),
+                        ],
+                        start=1,
+                    )
+                ]
+            }
+        )
+        mapped = result.expression.apply(bigger)
+        flights = mapped.relation("Flights")
+        assert flights.cardinality == 2  # one row per carrier
+        assert flights.has_attribute("ATL29") and flights.has_attribute("ORD17")
+
+
+class TestArtifactInterop:
+    def test_expression_text_roundtrip_and_replay(self, db_a, db_b):
+        result = discover_mapping(db_b, db_a, heuristic="cosine")
+        text = str(result.expression)
+        replayed = parse_expression(text)
+        assert replayed.apply(db_b).contains(db_a)
+
+    def test_sql_script_generation(self, db_a, db_b):
+        result = discover_mapping(db_b, db_a, heuristic="cosine")
+        script = compile_expression(result.expression, db_b)
+        assert "CREATE TABLE" in script or "ALTER TABLE" in script
+
+    def test_tnf_transport(self, db_b, db_a):
+        """Ship both instances through TNF (the interop format), then map."""
+        source = tnf_decode(tnf_encode(db_b))
+        target = tnf_decode(tnf_encode(db_a))
+        assert discover_mapping(source, target, heuristic="cosine").found
+
+
+class TestComplexSemanticEndToEnd:
+    def test_inventory_to_warehouse_schema(self):
+        domain = inventory_domain()
+        task = domain.task(6)
+        engine = Tupelo(heuristic="h1", registry=task.registry)
+        result = engine.discover(
+            task.source, task.target, correspondences=task.correspondences
+        )
+        assert result.found
+        mapped = result.expression.apply(task.source, task.registry)
+        assert mapped.contains(task.target)
+
+    def test_flights_b_to_c_with_execution_semantics(self, db_b, db_c):
+        result = discover_mapping(
+            db_b,
+            db_c,
+            correspondences=[total_cost_correspondence()],
+            registry=flights_registry(),
+        )
+        mapped = result.expression.apply(db_b, flights_registry())
+        air_east = mapped.relation("AirEast")
+        totals = air_east.column_values("TotalCost")
+        assert totals == {115, 125}
+
+
+class TestRobustness:
+    def test_unsolvable_multi_relation(self):
+        source = Database.from_dict({"R": [{"A": 1}]})
+        target = Database.from_dict({"R": [{"A": 1}], "Ghost": [{"Z": "no"}]})
+        result = discover_mapping(
+            source, target, config=SearchConfig(max_states=5_000)
+        )
+        assert not result.found
+
+    def test_budget_respected_under_pathological_heuristic(self):
+        from repro.workloads import matching_pair
+
+        pair = matching_pair(12)
+        result = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm="ida",
+            heuristic="h0",
+            config=SearchConfig(max_states=2_000),
+        )
+        assert result.status == "budget_exceeded"
+        assert result.states_examined == 2_001
+
+    def test_pruning_ablation_still_correct(self):
+        """With pruning off the search is slower but must stay correct.
+
+        Uses a small matching pair — an unpruned run on the Flights task
+        examines orders of magnitude more states (see the pruning ablation
+        bench) and is too slow for the unit suite.
+        """
+        from repro.workloads import matching_pair
+
+        pair = matching_pair(3)
+        config = SearchConfig(
+            prune_targets=False, break_symmetry=False, max_states=30_000
+        )
+        result = discover_mapping(
+            pair.source, pair.target, heuristic="euclid_norm", config=config
+        )
+        if result.found:  # may exceed budget; correctness matters if found
+            assert result.expression.apply(pair.source).contains(pair.target)

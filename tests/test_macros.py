@@ -1,0 +1,88 @@
+"""Tests for the PIVOT / UNPIVOT macros (repro.fira.macros)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pivot, unpivot
+from repro.errors import OperatorApplicationError
+from repro.fira import MappingExpression, RenameAttribute, RenameRelation
+from repro.relational import NULL, Database, Relation
+from repro.workloads import b_to_a_expression, flights_a, flights_b
+
+
+class TestPivot:
+    def test_reproduces_example2_prefix(self, db_a, db_b):
+        """pivot + the two renames equals the full Example 2 mapping."""
+        expr = pivot(
+            "Prices", key="Carrier", name_attr="Route", value_attr="Cost"
+        ).compose(
+            MappingExpression(
+                [
+                    RenameAttribute("Prices", "AgentFee", "Fee"),
+                    RenameRelation("Prices", "Flights"),
+                ]
+            )
+        )
+        assert expr.apply(db_b) == db_a
+
+    def test_equals_reference_pipeline(self, db_b):
+        macro = pivot(
+            "Prices", key="Carrier", name_attr="Route", value_attr="Cost"
+        )
+        reference_prefix = MappingExpression(b_to_a_expression().operators[:4])
+        assert macro.apply(db_b) == reference_prefix.apply(db_b)
+
+    def test_collapses_rows(self, db_b):
+        out = pivot("Prices", "Carrier", "Route", "Cost").apply(db_b)
+        assert out.relation("Prices").cardinality == 2
+
+    def test_requires_distinct_attributes(self):
+        with pytest.raises(OperatorApplicationError):
+            pivot("R", "K", "K", "V")
+
+    def test_is_plain_pipeline(self):
+        macro = pivot("R", "K", "N", "V")
+        assert len(macro) == 4  # promote, 2 drops, merge
+
+
+class TestUnpivot:
+    def test_flights_a_to_b_shape(self, db_a, db_b):
+        """The A->B direction needs σ, so search cannot discover it — but
+        the unpivot macro expresses it directly."""
+        expr = unpivot(
+            "Flights", ["ATL29", "ORD17"], name_attr="Route", value_attr="Cost"
+        ).then(RenameAttribute("Flights", "Fee", "AgentFee")).then(
+            RenameRelation("Flights", "Prices")
+        )
+        out = expr.apply(db_a)
+        assert out == db_b
+
+    def test_round_trip_with_pivot(self, db_a):
+        """unpivot then pivot restores the original relation."""
+        folded = unpivot(
+            "Flights", ["ATL29", "ORD17"], name_attr="Route", value_attr="Cost"
+        ).apply(db_a)
+        restored = pivot(
+            "Flights", key="Carrier", name_attr="Route", value_attr="Cost"
+        ).apply(folded)
+        assert restored == db_a
+
+    def test_null_cells_fold_to_null_values(self):
+        db = Database.single(
+            Relation("R", ("K", "X", "Y"), [("a", 1, NULL)])
+        )
+        out = unpivot("R", ["X", "Y"]).apply(db)
+        cells = {
+            (row["ATT"], row["VAL"]) for row in out.relation("R").iter_dicts()
+        }
+        assert ("X", 1) in cells and ("Y", NULL) in cells
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(OperatorApplicationError):
+            unpivot("R", [])
+
+    def test_textual_rendering(self):
+        text = str(unpivot("R", ["X", "Y"]))
+        assert "demote[R]" in text
+        assert "keep rows" in text

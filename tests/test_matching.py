@@ -1,0 +1,85 @@
+"""Tests for schema-matching extraction (repro.fira.matching)."""
+
+from __future__ import annotations
+
+from repro.fira import (
+    ApplyFunction,
+    AttributeMatch,
+    RelationMatch,
+    RenameAttribute,
+    RenameRelation,
+    expression_of,
+    extract_matching,
+)
+from repro.workloads import b_to_a_expression, b_to_c_expression
+
+
+class TestExtractMatching:
+    def test_example2_matching(self):
+        matching = extract_matching(b_to_a_expression())
+        assert RelationMatch("Prices", "Flights") in matching.relation_matches
+        assert (
+            AttributeMatch(("AgentFee",), "Fee", "Prices")
+            in matching.attribute_matches
+        )
+        assert matching.is_pure_matching
+
+    def test_complex_matching_reported_with_function(self):
+        matching = extract_matching(b_to_c_expression())
+        complex_matches = [
+            m for m in matching.attribute_matches if m.via == "add"
+        ]
+        assert complex_matches == [
+            AttributeMatch(
+                ("Cost", "AgentFee"), "TotalCost", "Prices", via="add"
+            )
+        ]
+        assert not matching.is_pure_matching
+
+    def test_transitive_renames_composed(self):
+        expr = expression_of(
+            RenameAttribute("R", "A", "Temp"),
+            RenameAttribute("R", "Temp", "B"),
+        )
+        matching = extract_matching(expr)
+        assert matching.attribute_matches == (
+            AttributeMatch(("A",), "B", "R"),
+        )
+
+    def test_rename_back_is_identity(self):
+        expr = expression_of(
+            RenameAttribute("R", "A", "B"),
+            RenameAttribute("R", "B", "A"),
+        )
+        assert extract_matching(expr).attribute_matches == ()
+
+    def test_attribute_matches_survive_relation_rename(self):
+        expr = expression_of(
+            RenameAttribute("Old", "X", "Y"),
+            RenameRelation("Old", "New"),
+        )
+        matching = extract_matching(expr)
+        assert matching.attribute_matches == (
+            AttributeMatch(("X",), "Y", "Old"),
+        )
+        assert matching.relation_matches == (RelationMatch("Old", "New"),)
+
+    def test_lambda_inputs_traced_through_renames(self):
+        expr = expression_of(
+            RenameAttribute("R", "Amount", "Cost"),
+            ApplyFunction("R", "add", ("Cost", "Fee"), "Total"),
+        )
+        matching = extract_matching(expr)
+        complex_match = matching.attribute_matches[-1]
+        assert complex_match.source_attributes == ("Amount", "Fee")
+        assert complex_match.via == "add"
+
+    def test_empty_expression(self):
+        matching = extract_matching(expression_of())
+        assert matching.attribute_matches == ()
+        assert matching.relation_matches == ()
+
+    def test_str_rendering(self):
+        text = str(extract_matching(b_to_c_expression()))
+        assert "--[add]->" in text
+        assert "Cost <-> BaseCost" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the λ operator (repro.fira.semantic.ApplyFunction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OperatorApplicationError, UnknownFunctionError
+from repro.fira import ApplyFunction, parse_operator
+from repro.relational import NULL, Database, Relation
+from repro.semantics import Correspondence, builtin_registry
+
+
+@pytest.fixture
+def registry():
+    return builtin_registry()
+
+
+class TestApplyFunction:
+    def test_paper_example6(self, db_b, registry):
+        """λTotalCost f3,(Cost, AgentFee)(FlightsB)."""
+        op = ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "TotalCost")
+        out = op.apply(db_b, registry)
+        rows = {
+            (d["Carrier"], d["Route"], d["TotalCost"])
+            for d in out.relation("Prices").iter_dicts()
+        }
+        assert ("AirEast", "ATL29", 115) in rows
+        assert ("JetWest", "ORD17", 236) in rows
+
+    def test_example5_full_name(self, people, registry):
+        op = ApplyFunction("People", "full_name", ("First", "Last"), "Passenger")
+        out = op.apply(people, registry)
+        names = out.relation("People").column_values("Passenger")
+        assert names == {"John Smith", "Jane Doe"}
+
+    def test_unary_function(self, people, registry):
+        op = ApplyFunction("People", "upper", ("First",), "FirstUpper")
+        out = op.apply(people, registry)
+        assert out.relation("People").column_values("FirstUpper") == {
+            "JOHN",
+            "JANE",
+        }
+
+    def test_null_inputs_propagate(self, registry):
+        db = Database.single(Relation("R", ("A", "B"), [(1, NULL)]))
+        op = ApplyFunction("R", "add", ("A", "B"), "C")
+        out = op.apply(db, registry)
+        assert next(iter(out.relation("R").iter_dicts()))["C"] is NULL
+
+    def test_requires_registry(self, db_b):
+        op = ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "TotalCost")
+        with pytest.raises(UnknownFunctionError):
+            op.apply(db_b, None)
+
+    def test_unknown_function(self, db_b, registry):
+        op = ApplyFunction("Prices", "nope", ("Cost",), "X")
+        with pytest.raises(UnknownFunctionError):
+            op.apply(db_b, registry)
+
+    def test_arity_mismatch(self, db_b, registry):
+        op = ApplyFunction("Prices", "add", ("Cost",), "X")
+        with pytest.raises(OperatorApplicationError):
+            op.apply(db_b, registry)
+
+    def test_missing_input_attribute(self, db_b, registry):
+        op = ApplyFunction("Prices", "add", ("Cost", "Nope"), "X")
+        with pytest.raises(OperatorApplicationError):
+            op.apply(db_b, registry)
+
+    def test_output_collision(self, db_b, registry):
+        op = ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "Cost")
+        with pytest.raises(OperatorApplicationError):
+            op.apply(db_b, registry)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(OperatorApplicationError):
+            ApplyFunction("R", "f", (), "X")
+
+    def test_from_correspondence(self):
+        corr = Correspondence("add", ("Cost", "AgentFee"), "TotalCost")
+        op = ApplyFunction.from_correspondence("Prices", corr)
+        assert op == ApplyFunction(
+            "Prices", "add", ("Cost", "AgentFee"), "TotalCost"
+        )
+
+    def test_is_applicable(self, db_b):
+        good = ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "TotalCost")
+        assert good.is_applicable(db_b)
+        assert not ApplyFunction("Prices", "add", ("Nope", "Cost"), "X").is_applicable(db_b)
+        assert not ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "Cost").is_applicable(db_b)
+
+    def test_str_roundtrip(self):
+        op = ApplyFunction("Prices", "add", ("Cost", "AgentFee"), "TotalCost")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        op = ApplyFunction("R", "f", ("A",), "B")
+        assert "λ" in op.to_unicode()
+
+    def test_inputs_normalized_to_tuple(self):
+        op = ApplyFunction("R", "f", ["A", "B"], "C")  # type: ignore[arg-type]
+        assert op.inputs == ("A", "B")
+        assert hash(op)  # hashable despite list input

@@ -1,0 +1,159 @@
+"""Unit tests for merge (µ) and cartesian product (×)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OperatorApplicationError
+from repro.fira import (
+    CartesianProduct,
+    Merge,
+    Promote,
+    merge_group,
+    merge_tuples,
+    parse_operator,
+    tuples_compatible,
+)
+from repro.relational import NULL, Database, Relation
+
+
+class TestCompatibility:
+    def test_equal_rows_compatible(self):
+        assert tuples_compatible((1, "a"), (1, "a"))
+
+    def test_null_is_wildcard(self):
+        assert tuples_compatible((1, NULL), (1, "a"))
+        assert tuples_compatible((NULL, NULL), (1, "a"))
+
+    def test_conflict_incompatible(self):
+        assert not tuples_compatible((1, "a"), (1, "b"))
+
+    def test_merge_prefers_non_null(self):
+        assert merge_tuples((1, NULL), (NULL, "a")) == (1, "a")
+
+    def test_merge_keeps_left_on_agreement(self):
+        assert merge_tuples((1, "a"), (1, "a")) == (1, "a")
+
+
+class TestMergeGroup:
+    def test_two_halves_coalesce(self):
+        rows = [(1, "x", NULL), (1, NULL, "y")]
+        assert merge_group(rows) == [(1, "x", "y")]
+
+    def test_conflicting_rows_stay_apart(self):
+        rows = [(1, "x", NULL), (1, "z", "y")]
+        assert len(merge_group(rows)) == 2
+
+    def test_chained_merge_fixpoint(self):
+        rows = [
+            (1, "a", NULL, NULL),
+            (1, NULL, "b", NULL),
+            (1, NULL, NULL, "c"),
+        ]
+        assert merge_group(rows) == [(1, "a", "b", "c")]
+
+    def test_deterministic(self):
+        rows = [(1, NULL, "y"), (1, "x", NULL)]
+        assert merge_group(rows) == merge_group(list(reversed(rows)))
+
+
+class TestMerge:
+    def test_paper_example2_step_r3(self, db_b):
+        """After promote + drops, µCarrier collapses to one row per carrier."""
+        promoted = Promote("Prices", "Route", "Cost").apply(db_b)
+        narrowed = (
+            promoted.relation("Prices")
+            .drop_attribute("Route")
+            .drop_attribute("Cost")
+        )
+        db = promoted.with_relation(narrowed)
+        out = Merge("Prices", "Carrier").apply(db)
+        rel = out.relation("Prices")
+        assert rel.cardinality == 2
+        rows = {tuple(sorted(d.items())) for d in rel.iter_dicts()}
+        assert (
+            ("ATL29", 100),
+            ("AgentFee", 15),
+            ("Carrier", "AirEast"),
+            ("ORD17", 110),
+        ) in rows
+
+    def test_null_keys_never_merge(self):
+        db = Database.single(
+            Relation("R", ("K", "V"), [(NULL, 1), (NULL, 2)])
+        )
+        out = Merge("R", "K").apply(db)
+        assert out.relation("R").cardinality == 2
+
+    def test_incompatible_tuples_preserved(self, db_b):
+        """Merging FlightsB directly on Carrier changes nothing: the Route
+        and Cost columns conflict."""
+        out = Merge("Prices", "Carrier").apply(db_b)
+        assert out == db_b
+
+    def test_missing_attribute(self, db_b):
+        with pytest.raises(OperatorApplicationError):
+            Merge("Prices", "Nope").apply(db_b)
+
+    def test_str_roundtrip(self):
+        op = Merge("Prices", "Carrier")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "µ" in Merge("R", "A").to_unicode()
+
+
+class TestCartesianProduct:
+    def test_row_count(self, db_c):
+        out = CartesianProduct("AirEast", "JetWest").apply(db_c)
+        product = out.relation("AirEast*JetWest")
+        assert product.cardinality == 4
+
+    def test_operands_kept(self, db_c):
+        out = CartesianProduct("AirEast", "JetWest").apply(db_c)
+        assert out.has_relation("AirEast") and out.has_relation("JetWest")
+
+    def test_clashing_attributes_qualified(self, db_c):
+        out = CartesianProduct("AirEast", "JetWest").apply(db_c)
+        product = out.relation("AirEast*JetWest")
+        assert product.has_attribute("AirEast.Route")
+        assert product.has_attribute("JetWest.Route")
+
+    def test_disjoint_attributes_unqualified(self):
+        db = Database(
+            [
+                Relation("R", ("A",), [(1,)]),
+                Relation("S", ("B",), [(2,)]),
+            ]
+        )
+        out = CartesianProduct("R", "S").apply(db)
+        assert out.relation("R*S").attribute_set == {"A", "B"}
+
+    def test_custom_result_name(self, db_c):
+        op = CartesianProduct("AirEast", "JetWest", "Both")
+        assert op.result_name == "Both"
+        out = op.apply(db_c)
+        assert out.has_relation("Both")
+
+    def test_result_name_collision(self, db_c):
+        with pytest.raises(OperatorApplicationError):
+            CartesianProduct("AirEast", "JetWest", "AirEast").apply(db_c)
+
+    def test_self_product_rejected(self, db_c):
+        with pytest.raises(OperatorApplicationError):
+            CartesianProduct("AirEast", "AirEast").apply(db_c)
+
+    def test_repeated_product_no_duplicate_attributes(self, db_c):
+        once = CartesianProduct("AirEast", "JetWest").apply(db_c)
+        twice = CartesianProduct("AirEast*JetWest", "JetWest").apply(once)
+        rel = twice.relation("AirEast*JetWest*JetWest")
+        assert len(set(rel.attributes)) == rel.arity
+
+    def test_str_roundtrip(self):
+        plain = CartesianProduct("R", "S")
+        named = CartesianProduct("R", "S", "T")
+        assert parse_operator(str(plain)) == plain
+        assert parse_operator(str(named)) == named
+
+    def test_unicode(self):
+        assert "×" in CartesianProduct("R", "S").to_unicode()

@@ -1,0 +1,209 @@
+"""Unit tests for the dynamic data-metadata operators (↑, ↓, →, ℘)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OperatorApplicationError
+from repro.fira import (
+    DEMOTE_ATT_ATTR,
+    DEMOTE_REL_ATTR,
+    Demote,
+    Dereference,
+    Partition,
+    Promote,
+    parse_operator,
+)
+from repro.relational import NULL, Database, Relation
+
+
+class TestPromote:
+    def test_paper_example2_step_r1(self, db_b):
+        """↑Cost/Route(FlightsB): Route values become columns holding Cost."""
+        out = Promote("Prices", "Route", "Cost").apply(db_b)
+        rel = out.relation("Prices")
+        assert rel.has_attribute("ATL29") and rel.has_attribute("ORD17")
+        # each tuple defines exactly its own route column
+        for row in rel.iter_dicts():
+            if row["Route"] == "ATL29":
+                assert row["ATL29"] == row["Cost"]
+                assert row["ORD17"] is NULL
+            else:
+                assert row["ORD17"] == row["Cost"]
+                assert row["ATL29"] is NULL
+
+    def test_table1_effect_new_column_named_tA_value_tB(self):
+        db = Database.single(Relation("R", ("K", "V"), [("p", 7)]))
+        out = Promote("R", "K", "V").apply(db)
+        rel = out.relation("R")
+        assert rel.column("p") == (7,)
+
+    def test_numeric_values_become_column_names(self):
+        db = Database.single(Relation("R", ("K", "V"), [(42, "x")]))
+        out = Promote("R", "K", "V").apply(db)
+        assert out.relation("R").has_attribute("42")
+
+    def test_null_name_values_skipped(self):
+        db = Database.single(Relation("R", ("K", "V"), [(NULL, 1), ("p", 2)]))
+        out = Promote("R", "K", "V").apply(db)
+        rel = out.relation("R")
+        assert rel.has_attribute("p")
+        assert rel.arity == 3  # K, V, p only
+
+    def test_all_null_names_rejected(self):
+        db = Database.single(Relation("R", ("K", "V"), [(NULL, 1)]))
+        with pytest.raises(OperatorApplicationError):
+            Promote("R", "K", "V").apply(db)
+
+    def test_collision_with_existing_attribute(self):
+        db = Database.single(Relation("R", ("K", "V"), [("V", 1)]))
+        with pytest.raises(OperatorApplicationError):
+            Promote("R", "K", "V").apply(db)
+
+    def test_missing_attribute(self, db_b):
+        with pytest.raises(OperatorApplicationError):
+            Promote("Prices", "Nope", "Cost").apply(db_b)
+
+    def test_promote_same_column_twice_names_and_values(self):
+        db = Database.single(Relation("R", ("K",), [("p",)]))
+        out = Promote("R", "K", "K").apply(db)
+        assert out.relation("R").column("p") == ("p",)
+
+    def test_is_applicable(self, db_b):
+        assert Promote("Prices", "Route", "Cost").is_applicable(db_b)
+        assert not Promote("Prices", "Nope", "Cost").is_applicable(db_b)
+
+    def test_str_roundtrip(self):
+        op = Promote("Prices", "Route", "Cost")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "↑" in Promote("R", "A", "B").to_unicode()
+
+
+class TestDemote:
+    def test_adds_metadata_columns(self, tiny):
+        out = Demote("T").apply(tiny)
+        rel = out.relation("T")
+        assert rel.has_attribute(DEMOTE_REL_ATTR)
+        assert rel.has_attribute(DEMOTE_ATT_ATTR)
+
+    def test_cartesian_with_metadata(self, tiny):
+        out = Demote("T").apply(tiny)
+        rel = out.relation("T")
+        # 2 tuples x 2 attributes
+        assert rel.cardinality == 4
+        assert rel.column_values(DEMOTE_ATT_ATTR) == {"X", "Y"}
+        assert rel.column_values(DEMOTE_REL_ATTR) == {"T"}
+
+    def test_double_demote_rejected(self, tiny):
+        once = Demote("T").apply(tiny)
+        with pytest.raises(OperatorApplicationError):
+            Demote("T").apply(once)
+
+    def test_is_applicable(self, tiny):
+        assert Demote("T").is_applicable(tiny)
+        assert not Demote("Nope").is_applicable(tiny)
+
+    def test_str_roundtrip(self):
+        op = Demote("T")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "↓" in Demote("T").to_unicode()
+
+
+class TestDereference:
+    def test_table1_effect_t_of_t_A(self):
+        """→B/A: append column B with value t[t[A]]."""
+        db = Database.single(
+            Relation("R", ("Ptr", "P", "Q"), [("P", 1, 2), ("Q", 3, 4)])
+        )
+        out = Dereference("R", "Ptr", "Val").apply(db)
+        values = {
+            (row["Ptr"], row["Val"]) for row in out.relation("R").iter_dicts()
+        }
+        assert values == {("P", 1), ("Q", 4)}
+
+    def test_unpivot_composition(self, tiny):
+        """↓ then → recovers each cell's value (UNPIVOT)."""
+        demoted = Demote("T").apply(tiny)
+        out = Dereference("T", DEMOTE_ATT_ATTR, "$VAL").apply(demoted)
+        cells = {
+            (row[DEMOTE_ATT_ATTR], row["$VAL"])
+            for row in out.relation("T").iter_dicts()
+        }
+        assert ("X", "x1") in cells and ("Y", 2) in cells
+
+    def test_dangling_pointer_is_null(self):
+        db = Database.single(Relation("R", ("Ptr", "P"), [("Nope", 1)]))
+        out = Dereference("R", "Ptr", "Val").apply(db)
+        assert next(iter(out.relation("R").iter_dicts()))["Val"] is NULL
+
+    def test_null_pointer_is_null(self):
+        db = Database.single(Relation("R", ("Ptr", "P"), [(NULL, 1)]))
+        out = Dereference("R", "Ptr", "Val").apply(db)
+        assert next(iter(out.relation("R").iter_dicts()))["Val"] is NULL
+
+    def test_new_attr_collision(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            Dereference("T", "X", "Y").apply(tiny)
+
+    def test_str_roundtrip(self):
+        op = Dereference("R", "Ptr", "Val")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "→" in Dereference("R", "A", "B").to_unicode()
+
+
+class TestPartition:
+    def test_paper_flightsb_by_carrier(self, db_b):
+        out = Partition("Prices", "Carrier").apply(db_b)
+        assert out.relation_names == ("AirEast", "JetWest")
+        assert out.relation("AirEast").cardinality == 2
+        assert not out.has_relation("Prices")
+
+    def test_tuples_assigned_by_value(self, db_b):
+        out = Partition("Prices", "Carrier").apply(db_b)
+        assert out.relation("AirEast").column_values("Carrier") == {"AirEast"}
+
+    def test_attribute_retained(self, db_b):
+        out = Partition("Prices", "Carrier").apply(db_b)
+        assert out.relation("AirEast").has_attribute("Carrier")
+
+    def test_collision_with_existing_relation(self):
+        db = Database(
+            [
+                Relation("R", ("A",), [("S",)]),
+                Relation("S", ("B",), [(1,)]),
+            ]
+        )
+        with pytest.raises(OperatorApplicationError):
+            Partition("R", "A").apply(db)
+
+    def test_empty_relation_rejected(self):
+        db = Database.single(Relation("R", ("A",), []))
+        with pytest.raises(OperatorApplicationError):
+            Partition("R", "A").apply(db)
+
+    def test_null_partition_value_rejected(self):
+        db = Database.single(Relation("R", ("A", "B"), [(NULL, 1)]))
+        with pytest.raises(OperatorApplicationError):
+            Partition("R", "A").apply(db)
+
+    def test_is_applicable_checks_collisions(self):
+        db = Database(
+            [
+                Relation("R", ("A",), [("S",)]),
+                Relation("S", ("B",), [(1,)]),
+            ]
+        )
+        assert not Partition("R", "A").is_applicable(db)
+
+    def test_str_roundtrip(self):
+        op = Partition("Prices", "Carrier")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "℘" in Partition("R", "A").to_unicode()

@@ -1,0 +1,91 @@
+"""Unit tests for ρatt / ρrel (repro.fira.renames)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OperatorApplicationError
+from repro.fira import RenameAttribute, RenameRelation, parse_operator
+
+
+class TestRenameAttribute:
+    def test_basic(self, tiny):
+        out = RenameAttribute("T", "X", "Label").apply(tiny)
+        rel = out.relation("T")
+        assert rel.attribute_set == {"Label", "Y"}
+        assert rel.column("Label") == ("x1", "x2")
+
+    def test_paper_example2_step(self, db_b):
+        out = RenameAttribute("Prices", "AgentFee", "Fee").apply(db_b)
+        assert out.relation("Prices").has_attribute("Fee")
+        assert not out.relation("Prices").has_attribute("AgentFee")
+
+    def test_missing_relation(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            RenameAttribute("Nope", "X", "Z").apply(tiny)
+
+    def test_missing_attribute(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            RenameAttribute("T", "Q", "Z").apply(tiny)
+
+    def test_collision(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            RenameAttribute("T", "X", "Y").apply(tiny)
+
+    def test_self_rename_rejected(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            RenameAttribute("T", "X", "X").apply(tiny)
+
+    def test_is_applicable(self, tiny):
+        assert RenameAttribute("T", "X", "Z").is_applicable(tiny)
+        assert not RenameAttribute("T", "X", "Y").is_applicable(tiny)
+        assert not RenameAttribute("T", "Q", "Z").is_applicable(tiny)
+        assert not RenameAttribute("Nope", "X", "Z").is_applicable(tiny)
+        assert not RenameAttribute("T", "X", "X").is_applicable(tiny)
+
+    def test_other_relations_untouched(self, db_c):
+        out = RenameAttribute("AirEast", "Route", "Leg").apply(db_c)
+        assert out.relation("JetWest").has_attribute("Route")
+
+    def test_str_roundtrip(self):
+        op = RenameAttribute("T", "X", "Z")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode_form(self):
+        assert "ρatt" in RenameAttribute("T", "X", "Z").to_unicode()
+
+    def test_value_equality(self):
+        assert RenameAttribute("T", "X", "Z") == RenameAttribute("T", "X", "Z")
+        assert RenameAttribute("T", "X", "Z") != RenameAttribute("T", "X", "W")
+
+
+class TestRenameRelation:
+    def test_basic(self, db_b):
+        out = RenameRelation("Prices", "Flights").apply(db_b)
+        assert out.has_relation("Flights")
+        assert not out.has_relation("Prices")
+        assert out.relation("Flights").rows == db_b.relation("Prices").rows
+
+    def test_missing_relation(self, db_b):
+        with pytest.raises(OperatorApplicationError):
+            RenameRelation("Nope", "X").apply(db_b)
+
+    def test_collision(self, db_c):
+        with pytest.raises(OperatorApplicationError):
+            RenameRelation("AirEast", "JetWest").apply(db_c)
+
+    def test_self_rename_rejected(self, db_b):
+        with pytest.raises(OperatorApplicationError):
+            RenameRelation("Prices", "Prices").apply(db_b)
+
+    def test_is_applicable(self, db_c):
+        assert RenameRelation("AirEast", "Other").is_applicable(db_c)
+        assert not RenameRelation("AirEast", "JetWest").is_applicable(db_c)
+        assert not RenameRelation("Nope", "X").is_applicable(db_c)
+
+    def test_str_roundtrip(self):
+        op = RenameRelation("Prices", "Flights")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode_form(self):
+        assert "ρrel" in RenameRelation("A", "B").to_unicode()

@@ -1,0 +1,83 @@
+"""Unit tests for drop (π̄) and select (σ) — repro.fira.structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OperatorApplicationError
+from repro.fira import DropAttribute, Select, parse_operator
+from repro.relational import NULL, Database, Relation
+
+
+class TestDropAttribute:
+    def test_basic(self, tiny):
+        out = DropAttribute("T", "Y").apply(tiny)
+        assert out.relation("T").attributes == ("X",)
+
+    def test_duplicate_collapse_after_drop(self):
+        db = Database.single(Relation("R", ("A", "B"), [(1, "x"), (1, "y")]))
+        out = DropAttribute("R", "B").apply(db)
+        assert out.relation("R").cardinality == 1
+
+    def test_missing_attribute(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            DropAttribute("T", "Q").apply(tiny)
+
+    def test_missing_relation(self, tiny):
+        with pytest.raises(OperatorApplicationError):
+            DropAttribute("Nope", "X").apply(tiny)
+
+    def test_last_attribute_protected(self):
+        db = Database.single(Relation("R", ("A",), [(1,)]))
+        with pytest.raises(OperatorApplicationError):
+            DropAttribute("R", "A").apply(db)
+
+    def test_is_applicable(self, tiny):
+        assert DropAttribute("T", "X").is_applicable(tiny)
+        assert not DropAttribute("T", "Q").is_applicable(tiny)
+        single = Database.single(Relation("R", ("A",), [(1,)]))
+        assert not DropAttribute("R", "A").is_applicable(single)
+
+    def test_str_roundtrip(self):
+        op = DropAttribute("T", "Y")
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "π̄" in DropAttribute("T", "Y").to_unicode()
+
+
+class TestSelect:
+    def test_keeps_matching_rows(self, db_b):
+        out = Select("Prices", "Carrier", "AirEast").apply(db_b)
+        rel = out.relation("Prices")
+        assert rel.cardinality == 2
+        assert rel.column_values("Carrier") == {"AirEast"}
+
+    def test_no_match_empties(self, db_b):
+        out = Select("Prices", "Carrier", "NoSuch").apply(db_b)
+        assert out.relation("Prices").cardinality == 0
+
+    def test_select_null_keeps_null_rows(self):
+        db = Database.single(Relation("R", ("A", "B"), [(1, NULL), (2, "x")]))
+        out = Select("R", "B", NULL).apply(db)
+        assert out.relation("R").rows == {(1, NULL)}
+
+    def test_null_never_equals_value(self):
+        db = Database.single(Relation("R", ("A", "B"), [(1, NULL)]))
+        out = Select("R", "B", "x").apply(db)
+        assert out.relation("R").cardinality == 0
+
+    def test_missing_attribute(self, db_b):
+        with pytest.raises(OperatorApplicationError):
+            Select("Prices", "Nope", 1).apply(db_b)
+
+    def test_str_roundtrip_string_value(self):
+        op = Select("Prices", "Carrier", "AirEast")
+        assert parse_operator(str(op)) == op
+
+    def test_str_roundtrip_int_value(self):
+        op = Select("Prices", "Cost", 100)
+        assert parse_operator(str(op)) == op
+
+    def test_unicode(self):
+        assert "σ" in Select("R", "A", 1).to_unicode()

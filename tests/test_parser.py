@@ -1,0 +1,101 @@
+"""Unit tests for the textual expression syntax (repro.fira.parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExpressionParseError
+from repro.fira import (
+    ApplyFunction,
+    CartesianProduct,
+    Demote,
+    Dereference,
+    DropAttribute,
+    MappingExpression,
+    Merge,
+    Partition,
+    Promote,
+    RenameAttribute,
+    RenameRelation,
+    Select,
+    parse_expression,
+    parse_operator,
+)
+from repro.workloads import b_to_a_expression, b_to_c_expression
+
+ALL_OPERATORS = [
+    RenameAttribute("Rel", "Old", "New"),
+    RenameRelation("Old", "New"),
+    DropAttribute("Rel", "Attr"),
+    Promote("Rel", "Name", "Value"),
+    Demote("Rel"),
+    Dereference("Rel", "Ptr", "New"),
+    Partition("Rel", "Attr"),
+    CartesianProduct("L", "R"),
+    CartesianProduct("L", "R", "Out"),
+    Merge("Rel", "Attr"),
+    ApplyFunction("Rel", "add", ("A", "B"), "C"),
+    ApplyFunction("Rel", "upper", ("A",), "B"),
+    Select("Rel", "Attr", "text"),
+    Select("Rel", "Attr", 42),
+]
+
+
+class TestOperatorRoundtrip:
+    @pytest.mark.parametrize("op", ALL_OPERATORS, ids=lambda op: str(op))
+    def test_roundtrip(self, op):
+        assert parse_operator(str(op)) == op
+
+    def test_whitespace_tolerated(self):
+        assert parse_operator("  rename_rel( A ->  B )  ") == RenameRelation(
+            "A", "B"
+        )
+
+    def test_unknown_syntax_rejected(self):
+        with pytest.raises(ExpressionParseError):
+            parse_operator("frobnicate[R](A)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ExpressionParseError):
+            parse_operator("rename_att[")
+
+
+class TestExpressionParsing:
+    def test_multiline(self):
+        text = "rename_rel(A -> B)\nrename_att[B](X -> Y)"
+        expr = parse_expression(text)
+        assert len(expr) == 2
+        assert isinstance(expr[1], RenameAttribute)
+
+    def test_semicolon_separated(self):
+        expr = parse_expression("rename_rel(A -> B); rename_rel(B -> C)")
+        assert len(expr) == 2
+
+    def test_promote_semicolon_not_a_separator(self):
+        expr = parse_expression("promote[R](Name; Value)")
+        assert len(expr) == 1
+        assert expr[0] == Promote("R", "Name", "Value")
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # the schema match
+        rename_rel(A -> B)   # trailing comment
+
+        rename_att[B](X -> Y)
+        """
+        assert len(parse_expression(text)) == 2
+
+    def test_empty_text_is_identity(self):
+        assert parse_expression("") == MappingExpression()
+
+    def test_roundtrip_example2(self):
+        expr = b_to_a_expression()
+        assert parse_expression(str(expr)) == expr
+
+    def test_roundtrip_b_to_c(self):
+        expr = b_to_c_expression()
+        assert parse_expression(str(expr)) == expr
+
+    def test_parsed_expression_executes(self, db_a, db_b):
+        expr = parse_expression(str(b_to_a_expression()))
+        assert expr.apply(db_b) == db_a

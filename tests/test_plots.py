@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer (repro.experiments.plots)."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentPoint, ExperimentSeries, ascii_chart
+
+
+def series(label, pairs, status="found"):
+    return ExperimentSeries(
+        label, tuple(ExperimentPoint(x, y, status) for x, y in pairs)
+    )
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+        assert ascii_chart([series("s", [])]) == "(no data)"
+
+    def test_legend_and_axis(self):
+        chart = ascii_chart(
+            [series("a", [(1, 10)]), series("b", [(1, 100)])], x_label="n"
+        )
+        assert "o=a" in chart and "x=b" in chart
+        assert "(n; y = states examined, log scale)" in chart
+
+    def test_log_scale_ordering(self):
+        chart = ascii_chart(
+            [series("low", [(1, 1)]), series("high", [(1, 100000)])]
+        )
+        lines = chart.splitlines()
+        high_row = next(i for i, l in enumerate(lines) if "x" in l)
+        low_row = next(i for i, l in enumerate(lines) if "o" in l)
+        assert high_row < low_row  # higher magnitude renders nearer the top
+
+    def test_marks_per_x_column(self):
+        chart = ascii_chart([series("s", [(1, 10), (2, 100), (3, 1000)])])
+        body = [l for l in chart.splitlines() if "|" in l]
+        marks = sum(line.count("o") for line in body)
+        assert marks == 3
+
+    def test_collision_marked(self):
+        chart = ascii_chart(
+            [series("a", [(1, 50)]), series("b", [(1, 50)])]
+        )
+        assert "!" in chart
+
+    def test_missing_points_skipped(self):
+        chart = ascii_chart(
+            [series("a", [(1, 10), (3, 30)]), series("b", [(2, 20)])]
+        )
+        assert "1" in chart and "2" in chart and "3" in chart
+
+    def test_handles_zero_states(self):
+        chart = ascii_chart([series("s", [(1, 0)])])
+        assert "o" in chart

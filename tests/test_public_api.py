@@ -1,0 +1,69 @@
+"""Tests for the public package surface (repro.__init__)."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_quickstart_from_module_docstring(self):
+        """The README/docstring quickstart must actually work."""
+        from repro import Database, Tupelo
+
+        source = Database.from_dict(
+            {
+                "Prices": [
+                    {
+                        "Carrier": "AirEast",
+                        "Route": "ATL29",
+                        "Cost": 100,
+                        "AgentFee": 15,
+                    }
+                ]
+            }
+        )
+        target = Database.from_dict(
+            {"Flights": [{"Carrier": "AirEast", "Fee": 15, "ATL29": 100}]}
+        )
+        result = Tupelo(algorithm="rbfs", heuristic="h1").discover(source, target)
+        assert result.found
+        assert result.stats.states_examined > 0
+
+    def test_error_hierarchy(self):
+        from repro import (
+            MappingNotFound,
+            SearchBudgetExceeded,
+            SearchError,
+            TupeloError,
+        )
+
+        assert issubclass(MappingNotFound, SearchError)
+        assert issubclass(SearchBudgetExceeded, SearchError)
+        assert issubclass(SearchError, TupeloError)
+
+    def test_algorithm_and_heuristic_catalogues(self):
+        assert set(repro.ALGORITHM_NAMES) >= {"ida", "rbfs"}
+        assert len(repro.HEURISTIC_NAMES) == 8
+
+    def test_operator_classes_exported(self):
+        operators = [
+            repro.RenameAttribute,
+            repro.RenameRelation,
+            repro.DropAttribute,
+            repro.Promote,
+            repro.Demote,
+            repro.Dereference,
+            repro.Partition,
+            repro.CartesianProduct,
+            repro.Merge,
+            repro.ApplyFunction,
+            repro.Select,
+        ]
+        assert all(issubclass(op, repro.Operator) for op in operators)

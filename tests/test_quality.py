@@ -1,0 +1,84 @@
+"""Tests for matching-quality evaluation (repro.experiments.quality)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.experiments import MatchQuality, evaluate_matching
+from repro.fira import MappingExpression, RenameAttribute, RenameRelation
+from repro.workloads import bamm_domain
+
+
+def quality(expected, found):
+    return MatchQuality(expected=frozenset(expected), found=frozenset(found))
+
+
+class TestMatchQuality:
+    def test_perfect(self):
+        q = quality([("A", "B")], [("A", "B")])
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+        assert q.perfect
+
+    def test_miss(self):
+        q = quality([("A", "B"), ("C", "D")], [("A", "B")])
+        assert q.recall == 0.5
+        assert q.precision == 1.0
+        assert not q.perfect
+
+    def test_spurious(self):
+        q = quality([("A", "B")], [("A", "B"), ("X", "Y")])
+        assert q.precision == 0.5
+        assert q.recall == 1.0
+
+    def test_both_empty_is_perfect(self):
+        q = quality([], [])
+        assert q.perfect and q.f1 == 1.0
+
+    def test_all_wrong(self):
+        q = quality([("A", "B")], [("X", "Y")])
+        assert q.precision == 0.0 and q.recall == 0.0 and q.f1 == 0.0
+
+
+class TestEvaluateMatching:
+    def test_gold_expression_scores_perfect(self):
+        task = bamm_domain("Books").tasks[5]
+        rel = task.source.relation_names[0]
+        ops = [
+            RenameAttribute(rel, canonical, used)
+            for canonical, used in task.gold_renames
+        ]
+        ops.append(RenameRelation(rel, task.target.relation_names[0]))
+        q = evaluate_matching(task, MappingExpression(ops))
+        assert q.perfect
+
+    def test_wrong_expression_scores_low(self):
+        task = next(
+            t for t in bamm_domain("Books").tasks if len(t.gold_renames) >= 1
+        )
+        rel = task.source.relation_names[0]
+        _canonical, used = task.gold_renames[0]
+        # rename the WRONG source attribute to the interface name
+        wrong_source = next(
+            a
+            for a in task.source.relation(rel).attributes
+            if a != _canonical and (a, used) not in task.gold_renames
+        )
+        q = evaluate_matching(
+            task, MappingExpression([RenameAttribute(rel, wrong_source, used)])
+        )
+        assert not q.perfect
+        assert q.precision == 0.0
+
+    @pytest.mark.parametrize("heuristic", ["h1", "euclid_norm", "cosine"])
+    def test_discovered_mappings_are_correct(self, heuristic):
+        """The paper's implicit claim: discovery returns the *correct*
+        matchings, not just any goal-satisfying rename set."""
+        domain = bamm_domain("Music")
+        for task in domain.tasks[:10]:
+            result = discover_mapping(task.source, task.target, heuristic=heuristic)
+            assert result.found
+            assert evaluate_matching(task, result.expression).perfect, (
+                task.interface_id,
+                heuristic,
+            )

@@ -1,0 +1,225 @@
+"""Unit tests for repro.relational.relation.Relation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relational import NULL, Relation
+
+
+def rel(rows=((1, "a"), (2, "b"))):
+    return Relation("R", ("N", "S"), rows)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = rel()
+        assert r.name == "R"
+        assert r.arity == 2
+        assert r.cardinality == 2
+
+    def test_attributes_canonical_sorted(self):
+        r = Relation("R", ("B", "A"), [(1, 2)])
+        assert r.attributes == ("A", "B")
+        # the row is re-ordered with the attributes
+        assert r.value(next(iter(r.rows)), "A") == 2
+        assert r.value(next(iter(r.rows)), "B") == 1
+
+    def test_duplicate_rows_collapse(self):
+        r = Relation("R", ("A",), [(1,), (1,), (2,)])
+        assert r.cardinality == 2
+
+    def test_empty_rows_allowed(self):
+        r = Relation("R", ("A",))
+        assert r.cardinality == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", ("A",), [])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(12, ("A",), [])  # type: ignore[arg-type]
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", (), [])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError) as err:
+            Relation("R", ("A", "A"), [])
+        assert "duplicate" in str(err.value)
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", ""), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "B"), [(1,)])
+
+    def test_none_becomes_null(self):
+        r = Relation("R", ("A",), [(None,)])
+        assert next(iter(r.rows)) == (NULL,)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(TypeError):
+            Relation("R", ("A",), [([1],)])
+
+    def test_from_dicts_infers_attributes(self):
+        r = Relation.from_dicts("R", [{"A": 1, "B": 2}, {"B": 3}])
+        assert r.attribute_set == {"A", "B"}
+        rows = set(r.rows)
+        assert (NULL, 3) in rows  # missing key becomes NULL
+
+    def test_from_dicts_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts("R", [])
+
+    def test_from_dicts_explicit_attributes(self):
+        r = Relation.from_dicts("R", [{"A": 1}], attributes=("A", "B"))
+        assert r.attribute_set == {"A", "B"}
+
+
+class TestEqualityHashing:
+    def test_equal_regardless_of_order(self):
+        left = Relation("R", ("A", "B"), [(1, 2), (3, 4)])
+        right = Relation("R", ("B", "A"), [(4, 3), (2, 1)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_name_matters(self):
+        assert rel() != Relation("S", ("N", "S"), [(1, "a"), (2, "b")])
+
+    def test_rows_matter(self):
+        assert rel() != rel(rows=((1, "a"),))
+
+    def test_not_equal_to_other_types(self):
+        assert rel() != "R"
+
+    def test_usable_in_sets(self):
+        assert len({rel(), rel()}) == 1
+
+
+class TestAccessors:
+    def test_attribute_position_error(self):
+        with pytest.raises(UnknownAttributeError) as err:
+            rel().attribute_position("Z")
+        assert err.value.attribute == "Z"
+        assert err.value.relation == "R"
+
+    def test_has_attribute(self):
+        assert rel().has_attribute("N")
+        assert not rel().has_attribute("Z")
+
+    def test_column(self):
+        assert rel().column("N") == (1, 2)
+
+    def test_column_values_excludes_null(self):
+        r = Relation("R", ("A",), [(1,), (NULL,)])
+        assert r.column_values("A") == {1}
+        assert r.column_values("A", include_null=True) == {1, NULL}
+
+    def test_value_set(self):
+        assert rel().value_set() == {1, 2, "a", "b"}
+
+    def test_value_set_with_null(self):
+        r = Relation("R", ("A", "B"), [(1, NULL)])
+        assert r.value_set() == {1}
+        assert NULL in r.value_set(include_null=True)
+
+    def test_has_nulls(self):
+        assert not rel().has_nulls
+        assert Relation("R", ("A",), [(NULL,)]).has_nulls
+
+    def test_sorted_rows_deterministic(self):
+        r = Relation("R", ("A",), [(3,), (1,), (2,)])
+        assert r.sorted_rows() == [(1,), (2,), (3,)]
+
+    def test_iter_dicts(self):
+        dicts = list(rel().iter_dicts())
+        assert dicts == [{"N": 1, "S": "a"}, {"N": 2, "S": "b"}]
+
+    def test_len_iter_contains(self):
+        r = rel()
+        assert len(r) == 2
+        assert set(iter(r)) == r.rows
+        assert (1, "a") in r
+
+
+class TestDerivations:
+    def test_renamed(self):
+        assert rel().renamed("S").name == "S"
+
+    def test_rename_attribute(self):
+        r = rel().rename_attribute("N", "Num")
+        assert r.attribute_set == {"Num", "S"}
+        assert r.column("Num") == (1, 2)
+
+    def test_rename_attribute_collision(self):
+        with pytest.raises(SchemaError):
+            rel().rename_attribute("N", "S")
+
+    def test_rename_attribute_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            rel().rename_attribute("Z", "Q")
+
+    def test_project(self):
+        r = rel().project(["N"])
+        assert r.attributes == ("N",)
+        assert r.rows == {(1,), (2,)}
+
+    def test_project_collapses_duplicates(self):
+        r = Relation("R", ("A", "B"), [(1, "x"), (1, "y")]).project(["A"])
+        assert r.cardinality == 1
+
+    def test_drop_attribute(self):
+        r = rel().drop_attribute("S")
+        assert r.attributes == ("N",)
+
+    def test_drop_last_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",), [(1,)]).drop_attribute("A")
+
+    def test_extend(self):
+        r = rel().extend("D", lambda row: row["N"] * 10)
+        assert r.column("D") == (10, 20)
+
+    def test_extend_collision(self):
+        with pytest.raises(SchemaError):
+            rel().extend("N", lambda row: 0)
+
+    def test_with_rows(self):
+        r = rel().with_rows([(9, "z")])
+        assert r.rows == {(9, "z")}
+        assert r.attributes == rel().attributes
+
+    def test_filter_rows(self):
+        r = rel().filter_rows(lambda row: row["N"] > 1)
+        assert r.rows == {(2, "b")}
+
+
+class TestContainment:
+    def test_contains_self(self):
+        assert rel().contains(rel())
+
+    def test_contains_projection_subset(self):
+        small = Relation("R", ("N",), [(1,)])
+        assert rel().contains(small)
+
+    def test_respects_values(self):
+        wrong = Relation("R", ("N",), [(9,)])
+        assert not rel().contains(wrong)
+
+    def test_requires_attribute_subset(self):
+        wider = Relation("R", ("N", "S", "Z"), [(1, "a", 0)])
+        assert not rel().contains(wider)
+
+    def test_extra_rows_in_container_ok(self):
+        small = Relation("R", ("N", "S"), [(1, "a")])
+        assert rel().contains(small)
+
+    def test_to_text_mentions_values(self):
+        text = rel().to_text()
+        assert "R:" in text and "N" in text and "a" in text

@@ -1,0 +1,134 @@
+"""Unit tests for Tuple Normal Form (repro.relational.tnf)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TNFError
+from repro.relational import (
+    NULL,
+    Database,
+    Relation,
+    database_string,
+    tnf_decode,
+    tnf_encode,
+    tnf_projections,
+    tnf_triples,
+)
+from repro.relational.tnf import TNF_ATTRIBUTES, iter_tnf_cells
+
+
+class TestEncode:
+    def test_paper_example4(self, db_c):
+        """Example 4: the TNF of FlightsC has 12 rows over 4 tuple ids."""
+        tnf = tnf_encode(db_c)
+        assert tnf.attribute_set == set(TNF_ATTRIBUTES)
+        assert tnf.cardinality == 12
+        tids = tnf.column_values("TID")
+        assert len(tids) == 4
+        cells = {
+            (row["REL"], row["ATT"], row["VALUE"]) for row in tnf.iter_dicts()
+        }
+        assert ("AirEast", "Route", "ATL29") in cells
+        assert ("AirEast", "TotalCost", 115) in cells
+        assert ("JetWest", "BaseCost", 220) in cells
+
+    def test_deterministic(self, db_c):
+        assert tnf_encode(db_c) == tnf_encode(db_c)
+
+    def test_same_database_same_encoding_regardless_of_build_order(self):
+        left = Database(
+            [Relation("A", ("X",), [(1,)]), Relation("B", ("Y",), [(2,)])]
+        )
+        right = Database(
+            [Relation("B", ("Y",), [(2,)]), Relation("A", ("X",), [(1,)])]
+        )
+        assert tnf_encode(left) == tnf_encode(right)
+
+    def test_null_cells_skipped(self):
+        db = Database.single(Relation("R", ("A", "B"), [(1, NULL)]))
+        cells = list(iter_tnf_cells(db))
+        assert len(cells) == 1
+        assert cells[0][2] == "A"
+
+    def test_custom_table_name(self, db_a):
+        assert tnf_encode(db_a, table_name="Interop").name == "Interop"
+
+    def test_tids_unique_per_tuple(self, db_b):
+        tnf = tnf_encode(db_b)
+        # 4 tuples x 4 attributes
+        assert tnf.cardinality == 16
+        assert len(tnf.column_values("TID")) == 4
+
+
+class TestDecode:
+    def test_roundtrip_flights(self, db_a, db_b, db_c):
+        for db in (db_a, db_b, db_c):
+            assert tnf_decode(tnf_encode(db)) == db
+
+    def test_roundtrip_multi_relation(self):
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(1, "x"), (2, "y")]),
+                Relation("S", ("C",), [("z",)]),
+            ]
+        )
+        assert tnf_decode(tnf_encode(db)) == db
+
+    def test_wrong_schema_rejected(self):
+        bad = Relation("T", ("A", "B"), [(1, 2)])
+        with pytest.raises(TNFError):
+            tnf_decode(bad)
+
+    def test_conflicting_attribute_rejected(self):
+        bad = Relation(
+            "TNF",
+            TNF_ATTRIBUTES,
+            [("t1", "R", "A", 1), ("t1", "R", "A", 2)],
+        )
+        with pytest.raises(TNFError):
+            tnf_decode(bad)
+
+    def test_tid_in_two_relations_rejected(self):
+        bad = Relation(
+            "TNF",
+            TNF_ATTRIBUTES,
+            [("t1", "R", "A", 1), ("t1", "S", "B", 2)],
+        )
+        with pytest.raises(TNFError):
+            tnf_decode(bad)
+
+    def test_non_string_tid_rejected(self):
+        bad = Relation("TNF", TNF_ATTRIBUTES, [(7, "R", "A", 1)])
+        with pytest.raises(TNFError):
+            tnf_decode(bad)
+
+
+class TestViews:
+    def test_triples_are_text(self, db_a):
+        triples = tnf_triples(db_a)
+        assert ("Flights", "ATL29", "100") in triples
+        assert all(
+            isinstance(part, str) for triple in triples for part in triple
+        )
+
+    def test_projections(self, db_c):
+        rels, atts, values = tnf_projections(db_c)
+        assert rels == {"AirEast", "JetWest"}
+        assert atts == {"Route", "BaseCost", "TotalCost"}
+        assert "115" in values and "ATL29" in values
+
+    def test_database_string_sorted_concatenation(self):
+        db = Database.single(Relation("R", ("A",), [("b",), ("a",)]))
+        # rows sorted lexicographically: RAa then RAb
+        assert database_string(db) == "RAaRAb"
+
+    def test_database_string_equal_for_equal_databases(self, db_b):
+        assert database_string(db_b) == database_string(flipped(db_b))
+
+
+def flipped(db: Database) -> Database:
+    """Rebuild a database from its own parts (different construction path)."""
+    return Database(
+        Relation(rel.name, rel.attributes, rel.sorted_rows()) for rel in db
+    )

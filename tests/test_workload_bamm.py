@@ -1,0 +1,113 @@
+"""Tests for the BAMM deep-web workload (Experiment 2 substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.workloads import (
+    DOMAIN_NAMES,
+    DOMAIN_SIZES,
+    bamm_corpus,
+    bamm_domain,
+    domain_concepts,
+    fixed_source,
+)
+
+
+class TestVocabulary:
+    @pytest.mark.parametrize("domain", DOMAIN_NAMES)
+    def test_eight_concepts_each(self, domain):
+        assert len(domain_concepts(domain)) == 8
+
+    @pytest.mark.parametrize("domain", DOMAIN_NAMES)
+    def test_synonyms_unique_within_domain(self, domain):
+        seen = set()
+        for concept in domain_concepts(domain):
+            for synonym in concept.synonyms:
+                assert synonym not in seen, f"duplicate synonym {synonym}"
+                seen.add(synonym)
+
+    @pytest.mark.parametrize("domain", DOMAIN_NAMES)
+    def test_values_unique_within_domain(self, domain):
+        values = [c.value for c in domain_concepts(domain)]
+        assert len(values) == len(set(values))
+
+    def test_canonical_included_in_synonyms(self):
+        for concept in domain_concepts("Books"):
+            assert concept.canonical in concept.synonyms
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            bamm_domain("Gardening")
+
+
+class TestGeneration:
+    def test_paper_counts(self):
+        assert DOMAIN_SIZES == {
+            "Books": 55,
+            "Automobiles": 55,
+            "Music": 49,
+            "Movies": 52,
+        }
+        corpus = bamm_corpus()
+        for name, domain in corpus.items():
+            assert len(domain) == DOMAIN_SIZES[name]
+
+    def test_interface_sizes_in_range(self):
+        for domain in bamm_corpus().values():
+            for task in domain.tasks:
+                assert 1 <= task.target_size <= 8
+
+    def test_deterministic(self):
+        assert bamm_domain("Music").tasks == bamm_domain("Music").tasks
+
+    def test_seed_changes_corpus(self):
+        assert bamm_domain("Music", seed=1).tasks != bamm_domain(
+            "Music", seed=2
+        ).tasks
+
+    def test_fixed_source_has_all_canonical_names(self):
+        source = fixed_source("Movies")
+        rel = source.relation("Movies")
+        assert rel.attribute_set == {
+            c.canonical for c in domain_concepts("Movies")
+        }
+
+    def test_interfaces_have_unique_relation_names(self):
+        domain = bamm_domain("Books")
+        names = [task.target.relation_names[0] for task in domain.tasks]
+        assert len(names) == len(set(names))
+
+    def test_rosetta_stone_values(self):
+        """Every target value also appears in the fixed source."""
+        domain = bamm_domain("Automobiles")
+        source_values = domain.source.value_set()
+        for task in domain.tasks:
+            assert task.target.value_set() <= source_values
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("heuristic", ["h1", "cosine", "euclid_norm"])
+    def test_sample_tasks_solvable(self, heuristic):
+        domain = bamm_domain("Books")
+        for task in domain.tasks[:5]:
+            result = discover_mapping(
+                task.source, task.target, heuristic=heuristic
+            )
+            assert result.found, f"{task.interface_id} failed with {heuristic}"
+            mapped = result.expression.apply(task.source)
+            assert mapped.contains(task.target)
+
+    def test_mapping_is_renames_only(self):
+        from repro.fira import RenameAttribute, RenameRelation
+
+        domain = bamm_domain("Music")
+        result = discover_mapping(
+            domain.tasks[0].source, domain.tasks[0].target, heuristic="h1"
+        )
+        assert result.found
+        assert all(
+            isinstance(op, (RenameAttribute, RenameRelation))
+            for op in result.expression
+        )

@@ -1,0 +1,93 @@
+"""Tests for the Fig. 1 Flights scenario — data and end-to-end discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.workloads import (
+    b_to_a_expression,
+    b_to_c_expression,
+    flights_a,
+    flights_b,
+    flights_c,
+    flights_registry,
+    total_cost_correspondence,
+)
+
+
+class TestData:
+    def test_shapes_match_figure1(self, db_a, db_b, db_c):
+        assert db_a.relation("Flights").arity == 4
+        assert db_a.relation("Flights").cardinality == 2
+        assert db_b.relation("Prices").cardinality == 4
+        assert db_c.relation_names == ("AirEast", "JetWest")
+        assert db_c.relation("AirEast").cardinality == 2
+
+    def test_same_information_content(self, db_a, db_b):
+        """Rosetta Stone: every base fare appears in all representations."""
+        assert {100, 110, 200, 220} <= db_a.value_set()
+        assert {100, 110, 200, 220} <= db_b.value_set()
+
+    def test_total_cost_is_cost_plus_fee(self, db_c):
+        air_east = {
+            (d["Route"], d["BaseCost"], d["TotalCost"])
+            for d in db_c.relation("AirEast").iter_dicts()
+        }
+        assert ("ATL29", 100, 115) in air_east  # 100 + 15
+
+
+class TestReferenceExpressions:
+    def test_b_to_a_exact(self, db_a, db_b):
+        assert b_to_a_expression().apply(db_b) == db_a
+
+    def test_b_to_c_contains(self, db_b, db_c):
+        out = b_to_c_expression().apply(db_b, flights_registry())
+        assert out.contains(db_c)
+
+    def test_correspondence_well_typed(self):
+        corr = total_cost_correspondence()
+        corr.check_signature(flights_registry())
+
+
+class TestDiscovery:
+    """Integration: TUPELO rediscovers the Fig. 1 mappings from scratch."""
+
+    @pytest.mark.parametrize("algorithm", ["ida", "rbfs"])
+    @pytest.mark.parametrize("heuristic", ["h1", "h3", "euclid_norm", "cosine"])
+    def test_b_to_a(self, algorithm, heuristic, db_a, db_b):
+        result = discover_mapping(
+            db_b, db_a, algorithm=algorithm, heuristic=heuristic
+        )
+        assert result.found
+        assert result.expression.apply(db_b).contains(db_a)
+
+    @pytest.mark.parametrize("heuristic", ["h1", "euclid_norm", "cosine"])
+    def test_b_to_c_with_lambda(self, heuristic, db_b, db_c):
+        result = discover_mapping(
+            db_b,
+            db_c,
+            heuristic=heuristic,
+            correspondences=[total_cost_correspondence()],
+            registry=flights_registry(),
+        )
+        assert result.found
+        mapped = result.expression.apply(db_b, flights_registry())
+        assert mapped.contains(db_c)
+
+    def test_b_to_a_discovered_uses_data_metadata_ops(self, db_a, db_b):
+        from repro.fira import Merge, Promote
+
+        result = discover_mapping(db_b, db_a, heuristic="euclid_norm")
+        kinds = {type(op) for op in result.expression}
+        assert Promote in kinds and Merge in kinds
+
+    def test_a_to_b_needs_selection_so_search_cannot_finish(self, db_a, db_b):
+        """A -> B needs a σ filter after unpivot; σ is post-processing only
+        (§2.1), so pure search must not claim success."""
+        from repro import SearchConfig
+
+        result = discover_mapping(
+            db_a, db_b, config=SearchConfig(max_states=3000)
+        )
+        assert not result.found

@@ -1,0 +1,120 @@
+"""Tests for the Experiment-3 complex semantic mapping domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.fira import ApplyFunction
+from repro.workloads import (
+    PAPER_FUNCTION_COUNTS,
+    inventory_domain,
+    real_estate_domain,
+    semantic_domains,
+)
+
+
+class TestDomains:
+    def test_paper_mapping_counts(self):
+        """Inventory has 10 complex mappings, Real Estate II has 12 (§5.3)."""
+        assert inventory_domain().max_functions == 10
+        assert real_estate_domain().max_functions == 12
+
+    def test_function_counts_axis(self):
+        assert PAPER_FUNCTION_COUNTS == tuple(range(1, 9))
+
+    def test_registry_covers_all_correspondences(self):
+        for domain in semantic_domains().values():
+            for corr in domain.correspondences:
+                corr.check_signature(domain.registry)
+
+    def test_outputs_unique(self):
+        for domain in semantic_domains().values():
+            outputs = [c.output for c in domain.correspondences]
+            assert len(outputs) == len(set(outputs))
+
+    def test_inputs_exist_in_source(self):
+        for domain in semantic_domains().values():
+            attrs = domain.source.attribute_names()
+            for corr in domain.correspondences:
+                assert set(corr.inputs) <= attrs
+
+
+class TestTasks:
+    def test_task_target_shape(self):
+        domain = inventory_domain()
+        task = domain.task(3)
+        rel = task.target.relation("Products")
+        # every source attribute (direct correspondences) + 3 complex outputs
+        assert rel.arity == len(domain.anchor_attributes) + 3
+        assert rel.cardinality == 2
+
+    def test_anchors_cover_source_schema(self):
+        """Archive-style targets carry a direct correspondence for every
+        source attribute, so search needs no renames (see Fig. 9)."""
+        for domain in semantic_domains().values():
+            assert (
+                frozenset(domain.anchor_attributes)
+                == domain.source.attribute_names()
+            )
+
+    def test_target_values_are_function_outputs(self):
+        domain = inventory_domain()
+        task = domain.task(1)  # TotalValue = UnitsInStock * UnitPrice
+        values = task.target.relation("Products").column_values("TotalValue")
+        assert values == {54, 694.75}  # 12*4.5, 7*99.25
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            inventory_domain().task(0)
+        with pytest.raises(ValueError):
+            inventory_domain().task(11)
+
+    def test_tasks_series_clamped(self):
+        series = inventory_domain().tasks(counts=tuple(range(1, 20)))
+        assert len(series) == 10
+
+    def test_rosetta_stone_by_construction(self):
+        """Applying the declared lambdas to the source yields the target."""
+        domain = real_estate_domain()
+        task = domain.task(5)
+        db = task.source
+        for corr in task.correspondences:
+            db = ApplyFunction.from_correspondence("Listings", corr).apply(
+                db, task.registry
+            )
+        assert db.contains(task.target)
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("domain_name", ["Inventory", "RealEstateII"])
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_discovery_h1(self, domain_name, n):
+        domain = semantic_domains()[domain_name]
+        task = domain.task(n)
+        result = discover_mapping(
+            task.source,
+            task.target,
+            heuristic="h1",
+            correspondences=task.correspondences,
+            registry=task.registry,
+        )
+        assert result.found
+        lambdas = [
+            op for op in result.expression if isinstance(op, ApplyFunction)
+        ]
+        assert len(lambdas) == n
+        mapped = result.expression.apply(task.source, task.registry)
+        assert mapped.contains(task.target)
+
+    def test_discovery_needs_exactly_declared_functions(self):
+        """With zero correspondences declared the task is unsolvable."""
+        task = inventory_domain().task(2)
+        result = discover_mapping(
+            task.source,
+            task.target,
+            heuristic="h1",
+            correspondences=[],
+            registry=task.registry,
+        )
+        assert not result.found

@@ -1,0 +1,97 @@
+"""Tests for the Experiment-1 synthetic matching workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.workloads import (
+    PAPER_SIZES,
+    matching_pair,
+    matching_pairs,
+    shared_value,
+    source_attribute,
+    target_attribute,
+)
+
+
+class TestGenerator:
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == tuple(range(2, 33))
+
+    def test_shapes(self):
+        pair = matching_pair(5)
+        assert pair.size == 5
+        rel = pair.source.relation("R")
+        assert rel.arity == 5
+        assert rel.cardinality == 1
+
+    def test_attribute_names(self):
+        pair = matching_pair(3)
+        assert pair.source.attribute_names() == {"A01", "A02", "A03"}
+        assert pair.target.attribute_names() == {"B01", "B02", "B03"}
+
+    def test_shared_rosetta_tuple(self):
+        pair = matching_pair(4)
+        assert pair.source.value_set() == pair.target.value_set()
+
+    def test_zero_padding_keeps_lexicographic_order(self):
+        assert source_attribute(2) == "A02"
+        assert source_attribute(10) == "A10"
+        assert sorted([source_attribute(i) for i in range(1, 13)]) == [
+            source_attribute(i) for i in range(1, 13)
+        ]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            matching_pair(0)
+
+    def test_matching_pairs_series(self):
+        pairs = matching_pairs((2, 3))
+        assert [p.size for p in pairs] == [2, 3]
+
+    def test_deterministic(self):
+        assert matching_pair(7).source == matching_pair(7).source
+
+    def test_values_shared_by_index(self):
+        assert shared_value(3) == "a03"
+        pair = matching_pair(3)
+        row = next(iter(pair.source.relation("R").rows))
+        assert set(row) == {"a01", "a02", "a03"}
+
+    def test_custom_relation_name(self):
+        pair = matching_pair(2, relation_name="Q")
+        assert pair.source.relation_names == ("Q",)
+
+
+class TestReferenceExpression:
+    def test_solves_the_pair(self):
+        pair = matching_pair(6)
+        out = pair.reference_expression().apply(pair.source)
+        assert out.contains(pair.target)
+
+    def test_n_renames(self):
+        assert len(matching_pair(9).reference_expression()) == 9
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_h1_discovers_correct_matching(self, n):
+        pair = matching_pair(n)
+        result = discover_mapping(pair.source, pair.target, heuristic="h1")
+        assert result.found
+        out = result.expression.apply(pair.source)
+        assert out.contains(pair.target)
+        # the matching must be Ai <-> Bi, not just any bijection
+        rel = out.relation("R")
+        row = dict(zip(rel.attributes, next(iter(rel.rows))))
+        for i in range(1, n + 1):
+            assert row[target_attribute(i)] == shared_value(i)
+
+    def test_large_instance_fast_with_h1(self):
+        pair = matching_pair(32)
+        result = discover_mapping(
+            pair.source, pair.target, algorithm="ida", heuristic="h1"
+        )
+        assert result.found
+        assert result.states_examined <= 200

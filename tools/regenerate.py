@@ -1,0 +1,109 @@
+"""Regenerate every experiment series and archive the results.
+
+A thin, scriptable alternative to the pytest-benchmark harness: runs the
+series behind each figure, saves them as JSON archives under ``results/``
+(via :mod:`repro.experiments.persist`), and prints the tables.  Useful for
+versioning results or re-rendering EXPERIMENTS.md data without pytest.
+
+Usage::
+
+    python tools/regenerate.py [--out results/] [--quick]
+
+``--quick`` shrinks budgets and sweep sizes for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import (
+    ascii_chart,
+    average_states,
+    averages_table,
+    run_bamm_domain,
+    run_matching_series,
+    run_semantic_series,
+    save_series,
+    series_table,
+)
+from repro.heuristics import HEURISTIC_NAMES
+from repro.workloads import DOMAIN_NAMES, bamm_corpus, inventory_domain
+
+
+def regenerate_fig5_fig6(out: Path, quick: bool) -> None:
+    budget = 20_000 if quick else 200_000
+    h1_sizes = (2, 8, 16) if quick else tuple(range(2, 33, 3))
+    h0_sizes = (2, 3, 4) if quick else tuple(range(2, 9))
+    scaled_sizes = (2, 4) if quick else tuple(range(2, 9))
+    for algorithm, figure in (("ida", "fig5"), ("rbfs", "fig6")):
+        series = [
+            run_matching_series(algorithm, "h0", h0_sizes, budget=budget),
+            run_matching_series(algorithm, "h1", h1_sizes, budget=budget),
+        ]
+        series += [
+            run_matching_series(algorithm, name, scaled_sizes, budget=50_000)
+            for name in ("euclid", "euclid_norm", "cosine", "levenshtein")
+        ]
+        save_series(out / f"{figure}.json", series, metadata={"budget": budget})
+        print(f"== {figure} ({algorithm}) ==")
+        print(series_table(series, x_label="n"))
+        print()
+        print(ascii_chart(series, x_label="n"))
+        print()
+
+
+def regenerate_fig7_fig8(out: Path, quick: bool) -> None:
+    corpus = bamm_corpus()
+    limit = 6 if quick else 24
+    heuristics = ("h0", "h1", "euclid_norm", "cosine") if quick else HEURISTIC_NAMES
+    all_series = []
+    for algorithm in ("ida", "rbfs"):
+        table = {}
+        for heuristic in heuristics:
+            row = {}
+            for name in DOMAIN_NAMES:
+                series = run_bamm_domain(
+                    algorithm, heuristic, corpus[name], budget=60_000, limit=limit
+                )
+                all_series.append(series)
+                row[name] = average_states(series)
+            table[heuristic] = row
+        print(f"== fig7 ({algorithm}) ==")
+        print(averages_table(table))
+        print()
+    save_series(out / "fig7_fig8.json", all_series, metadata={"limit": limit})
+
+
+def regenerate_fig9(out: Path, quick: bool) -> None:
+    domain = inventory_domain()
+    counts = (1, 2, 3) if quick else tuple(range(1, 9))
+    heuristics = ("h0", "h1", "cosine") if quick else HEURISTIC_NAMES
+    for algorithm in ("ida", "rbfs"):
+        series = [
+            run_semantic_series(algorithm, name, domain, counts=counts, budget=30_000)
+            for name in heuristics
+        ]
+        save_series(out / f"fig9_{algorithm}.json", series)
+        print(f"== fig9 ({algorithm}) ==")
+        print(series_table(series, x_label="#functions"))
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="archive directory")
+    parser.add_argument(
+        "--quick", action="store_true", help="small budgets / sweeps"
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    regenerate_fig5_fig6(out, args.quick)
+    regenerate_fig7_fig8(out, args.quick)
+    regenerate_fig9(out, args.quick)
+    print(f"archives written to {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Final benchmark run: every figure/table bench, output teed for the record.
+cd /root/repo
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
