@@ -1,0 +1,309 @@
+"""Cache ablation — what the memoized search kernel buys (and that it is free).
+
+Measures the Fig. 5 synthetic IDA* workload twice per schema size: once with
+the full memoization layer (derived-view caches on the immutable
+``Relation``/``Database`` values, the transposition table + state interning in
+``MappingProblem``) and once with every cache off (``cache_successors=False``
+inside :func:`~repro.relational.caching.view_caching_disabled` — the
+pre-memoization kernel).  Reports wall-clock, states/sec and the speedup, plus
+a side-by-side ``SearchStats`` dump showing the cache counters.
+
+The h0 (blind) curves are the headline: IDA* re-expands states heavily there,
+so the transposition table and warm per-state views pay off superlinearly.
+The heuristic memo-cache predates the caching work and stays on in both arms.
+
+Equivalence is checked, not assumed: for every algorithm x heuristic the two
+arms must return the identical expression, status, solution length and
+states-examined count.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_cache_ablation.py --quick
+
+or through the bench suite: ``pytest benchmarks/bench_cache_ablation.py
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from typing import Iterable, Sequence
+
+from repro.heuristics import HEURISTIC_NAMES
+from repro.relational.caching import view_caching_disabled
+from repro.search import ALGORITHM_NAMES, SearchConfig, discover_mapping
+from repro.search.result import SearchResult
+from repro.workloads import matching_pair
+
+if __package__ is None and not __name__.startswith("benchmarks"):
+    # running as a script: make _bench_utils importable
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _bench_utils import record_section
+
+ALGORITHM = "ida"
+#: headline sizes — h0/IDA* re-expansion grows superlinearly over these
+HEADLINE_SIZES = (4, 5, 6)
+QUICK_SIZES = (3, 4)
+EQUIVALENCE_SIZE = 3
+BUDGET = 400_000
+
+
+def _run(
+    size: int, heuristic: str, algorithm: str, cache_on: bool
+) -> SearchResult:
+    """One discovery run with the memoization layer on or off."""
+    pair = matching_pair(size)
+    config = SearchConfig(cache_successors=cache_on, max_states=BUDGET)
+    if cache_on:
+        return discover_mapping(
+            pair.source, pair.target, algorithm=algorithm,
+            heuristic=heuristic, config=config,
+        )
+    with view_caching_disabled():
+        return discover_mapping(
+            pair.source, pair.target, algorithm=algorithm,
+            heuristic=heuristic, config=config,
+        )
+
+
+def _timed(
+    size: int, heuristic: str, cache_on: bool, rounds: int
+) -> tuple[float, SearchResult]:
+    """Min-of-rounds wall clock for one (size, arm) cell.
+
+    Cyclic GC is collected then paused around each timed round (the
+    standard pytest-benchmark ``disable_gc`` discipline) so collection
+    pauses triggered by the other arm's garbage don't bleed into this one.
+    """
+    best = float("inf")
+    result: SearchResult | None = None
+    gc_was_enabled = gc.isenabled()
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = _run(size, heuristic, ALGORITHM, cache_on)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    assert result is not None
+    return best, result
+
+
+def measure_ablation(
+    sizes: Iterable[int], heuristic: str = "h0", rounds: int = 3
+) -> list[dict]:
+    """The ablation sweep: one row per schema size."""
+    rows = []
+    for size in sizes:
+        on_secs, on_result = _timed(size, heuristic, True, rounds)
+        off_secs, off_result = _timed(size, heuristic, False, rounds)
+        if on_result.stats.states_examined != off_result.stats.states_examined:
+            raise AssertionError(
+                f"cache changed the search at size {size}: "
+                f"{on_result.stats.states_examined} != "
+                f"{off_result.stats.states_examined} states"
+            )
+        states = on_result.stats.states_examined
+        rows.append(
+            {
+                "size": size,
+                "states": states,
+                "on_secs": on_secs,
+                "off_secs": off_secs,
+                "speedup": off_secs / on_secs if on_secs else float("inf"),
+                "on_states_per_sec": states / on_secs if on_secs else 0.0,
+                "off_states_per_sec": states / off_secs if off_secs else 0.0,
+                "cache_hits": on_result.stats.cache_hits,
+                "hit_rate": on_result.stats.cache_hit_rate,
+                "on_stats": on_result.stats,
+                "off_stats": off_result.stats,
+            }
+        )
+    return rows
+
+
+def ablation_table(rows: Sequence[dict], heuristic: str = "h0") -> str:
+    """Render the sweep as an ASCII table."""
+    headers = [
+        "size", "states", "on (s)", "off (s)", "speedup",
+        "on states/s", "off states/s", "hit rate",
+    ]
+    body = [
+        [
+            str(r["size"]),
+            str(r["states"]),
+            f"{r['on_secs']:.3f}",
+            f"{r['off_secs']:.3f}",
+            f"{r['speedup']:.2f}x",
+            f"{r['on_states_per_sec']:,.0f}",
+            f"{r['off_states_per_sec']:,.0f}",
+            f"{r['hit_rate']:.2f}",
+        ]
+        for r in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in body))
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [f"IDA*/{heuristic}, synthetic matching (cache on vs off)"]
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in body)
+    return "\n".join(lines)
+
+
+def verify_equivalence(
+    size: int = EQUIVALENCE_SIZE,
+    algorithms: Sequence[str] = ALGORITHM_NAMES,
+    heuristics: Sequence[str] = HEURISTIC_NAMES,
+) -> list[str]:
+    """Bit-identical check over every algorithm x heuristic combination.
+
+    Returns the list of mismatch descriptions (empty = all equivalent).
+    """
+    mismatches = []
+    for algorithm in algorithms:
+        for heuristic in heuristics:
+            on = _run(size, heuristic, algorithm, cache_on=True)
+            off = _run(size, heuristic, algorithm, cache_on=False)
+            on_expr = str(on.expression) if on.expression else None
+            off_expr = str(off.expression) if off.expression else None
+            on_len = len(on.expression) if on.expression else None
+            off_len = len(off.expression) if off.expression else None
+            if (
+                on.status != off.status
+                or on_expr != off_expr
+                or on_len != off_len
+                or on.stats.states_examined != off.stats.states_examined
+            ):
+                mismatches.append(
+                    f"{algorithm}/{heuristic}: "
+                    f"status {on.status}/{off.status}, "
+                    f"states {on.stats.states_examined}/"
+                    f"{off.stats.states_examined}, "
+                    f"expr {on_expr!r} vs {off_expr!r}"
+                )
+    return mismatches
+
+
+def _stats_section(rows: Sequence[dict]) -> str:
+    from repro.experiments import stats_table
+
+    largest = rows[-1]
+    return stats_table(
+        {
+            "cache on": largest["on_stats"].as_dict(),
+            "cache off": largest["off_stats"].as_dict(),
+        }
+    )
+
+
+def _series_section(sizes: Sequence[int]) -> str:
+    """Cache counters through the standard experiment-report path."""
+    from repro.experiments import cache_summary_table, run_matching_series
+
+    series = [
+        run_matching_series(ALGORITHM, name, tuple(sizes), budget=BUDGET)
+        for name in ("h0", "h1")
+    ]
+    return cache_summary_table(series)
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def test_cache_ablation_speedup(benchmark):
+    rows = benchmark.pedantic(
+        lambda: measure_ablation(HEADLINE_SIZES, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup_largest"] = rows[-1]["speedup"]
+    record_section(
+        "Cache ablation — IDA*/h0 synthetic matching (memoization on vs off)",
+        ablation_table(rows)
+        + "\n\nSearchStats at the largest size:\n"
+        + _stats_section(rows)
+        + "\n\nExperiment-report cache summary:\n"
+        + _series_section(HEADLINE_SIZES),
+    )
+    # the transposition table + warm views must at least halve wall clock
+    # on the re-expansion-heavy blind workload (measured: 2.1-2.5x)
+    assert rows[-1]["speedup"] >= 1.5
+    assert rows[-1]["cache_hits"] > 0
+
+
+def test_cache_ablation_bit_identical(benchmark):
+    mismatches = benchmark.pedantic(verify_equivalence, rounds=1, iterations=1)
+    assert mismatches == [], "\n".join(mismatches)
+
+
+# -- standalone CLI -----------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Ablate the memoized search kernel (cache on vs off)."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, one round — CI smoke mode",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="schema sizes to sweep (default: 4 5 6; quick: 3 4)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="timing rounds per cell"
+    )
+    args = parser.parse_args(argv)
+    if args.sizes and any(size < 1 for size in args.sizes):
+        parser.error(f"--sizes must all be >= 1, got {args.sizes}")
+    if args.rounds is not None and args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+    sizes = tuple(args.sizes) if args.sizes else (
+        QUICK_SIZES if args.quick else HEADLINE_SIZES
+    )
+    rounds = args.rounds if args.rounds else (1 if args.quick else 3)
+
+    rows = measure_ablation(sizes, rounds=rounds)
+    print(ablation_table(rows))
+    print()
+    print("SearchStats at the largest size:")
+    print(_stats_section(rows))
+    print()
+    print("Experiment-report cache summary:")
+    print(_series_section(sizes))
+    print()
+
+    heuristics = ("h0", "h1", "cosine") if args.quick else HEURISTIC_NAMES
+    mismatches = verify_equivalence(heuristics=heuristics)
+    if mismatches:
+        print("EQUIVALENCE FAILURES:")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    print(
+        f"equivalence: identical results across "
+        f"{len(ALGORITHM_NAMES)} algorithms x {len(heuristics)} heuristics"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,11 @@ from .quality import MatchQuality, evaluate_matching
 from .report import (
     ascii_table,
     averages_table,
+    cache_summary_table,
     format_states,
     log_bucket,
     series_table,
+    stats_table,
 )
 from .runner import (
     ExperimentPoint,
@@ -47,9 +49,11 @@ __all__ = [
     "evaluate_matching",
     "ascii_table",
     "averages_table",
+    "cache_summary_table",
     "format_states",
     "log_bucket",
     "series_table",
+    "stats_table",
     "ExperimentPoint",
     "ExperimentSeries",
     "average_states",

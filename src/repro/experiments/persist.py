@@ -28,6 +28,10 @@ def series_to_dict(series: ExperimentSeries) -> dict:
                 "states": point.states,
                 "status": point.status,
                 "expression_size": point.expression_size,
+                "cache_hits": point.cache_hits,
+                "cache_misses": point.cache_misses,
+                "cache_evictions": point.cache_evictions,
+                "elapsed_seconds": point.elapsed_seconds,
             }
             for point in series.points
         ],
@@ -44,6 +48,10 @@ def series_from_dict(data: Mapping) -> ExperimentSeries:
                 states=int(point["states"]),
                 status=str(point["status"]),
                 expression_size=int(point.get("expression_size", 0)),
+                cache_hits=int(point.get("cache_hits", 0)),
+                cache_misses=int(point.get("cache_misses", 0)),
+                cache_evictions=int(point.get("cache_evictions", 0)),
+                elapsed_seconds=float(point.get("elapsed_seconds", 0.0)),
             )
             for point in data["points"]
         ),

@@ -78,6 +78,63 @@ def averages_table(
     return ascii_table(headers, rows)
 
 
+def cache_summary_table(series_list: Sequence[ExperimentSeries]) -> str:
+    """Tabulate memo-cache counters per series (hits/misses/evictions).
+
+    Sums the cache counters recorded on every point of each series and
+    derives the hit rate and aggregate states/sec, so ablation benches can
+    print cache effectiveness next to the paper's states-examined tables.
+    """
+    headers = [
+        "series",
+        "states",
+        "cache hits",
+        "cache misses",
+        "evictions",
+        "hit rate",
+        "states/sec",
+    ]
+    rows: list[list[object]] = []
+    for series in series_list:
+        states = sum(p.states for p in series.points)
+        hits = sum(p.cache_hits for p in series.points)
+        misses = sum(p.cache_misses for p in series.points)
+        evictions = sum(p.cache_evictions for p in series.points)
+        seconds = sum(p.elapsed_seconds for p in series.points)
+        lookups = hits + misses
+        rate = f"{hits / lookups:.1%}" if lookups else "-"
+        throughput = f"{states / seconds:.0f}" if seconds > 0 else "-"
+        rows.append([series.label, states, hits, misses, evictions, rate, throughput])
+    return ascii_table(headers, rows)
+
+
+def stats_table(stats_by_label: Mapping[str, Mapping[str, float | int]]) -> str:
+    """Tabulate full ``SearchStats.as_dict()`` renderings side by side.
+
+    *stats_by_label* maps a column label (e.g. ``"cache on"``) to a stats
+    dict; rows are the union of stat keys in first-seen order.
+    """
+    keys: list[str] = []
+    for stats in stats_by_label.values():
+        for key in stats:
+            if key not in keys:
+                keys.append(key)
+    headers = ["stat"] + list(stats_by_label)
+    rows = []
+    for key in keys:
+        row: list[object] = [key]
+        for stats in stats_by_label.values():
+            value = stats.get(key)
+            if value is None:
+                row.append("-")
+            elif isinstance(value, float):
+                row.append(f"{value:.4f}")
+            else:
+                row.append(value)
+        rows.append(row)
+    return ascii_table(headers, rows)
+
+
 def log_bucket(states: float) -> str:
     """The order-of-magnitude bucket of a measurement (for shape checks)."""
     if states <= 0:

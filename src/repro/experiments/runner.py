@@ -33,12 +33,20 @@ class ExperimentPoint:
         states: states examined (capped at the budget when exceeded).
         status: the search status at this point.
         expression_size: operators in the discovered expression (0 if none).
+        cache_hits: memo-cache hits (transposition + goal + heuristic).
+        cache_misses: memo-cache misses.
+        cache_evictions: memo-cache LRU evictions.
+        elapsed_seconds: wall-clock time of the search run.
     """
 
     x: float
     states: int
     status: str
     expression_size: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    elapsed_seconds: float = 0.0
 
     @property
     def found(self) -> bool:
@@ -64,6 +72,10 @@ def _point(x: float, result: SearchResult) -> ExperimentPoint:
         states=result.states_examined,
         status=result.status,
         expression_size=size,
+        cache_hits=result.stats.cache_hits,
+        cache_misses=result.stats.cache_misses,
+        cache_evictions=result.stats.cache_evictions,
+        elapsed_seconds=result.stats.elapsed_seconds,
     )
 
 

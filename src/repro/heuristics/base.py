@@ -10,14 +10,27 @@ Estimates are memoised per state: databases are immutable and hashable, and
 both IDA* and RBFS re-visit states across iterations/backtracks, so caching
 changes nothing semantically while matching the paper's "states examined"
 accounting (each distinct state is examined once per evaluation site).
+
+The memo cache integrates with the search instrumentation: bind a
+:class:`~repro.search.stats.SearchStats` via :meth:`Heuristic.bind_stats`
+and hits / misses / evictions plus estimate wall-clock are recorded there
+(the search engine does this automatically).  :attr:`Heuristic.cache_capacity`
+bounds the cache with LRU eviction, consistent with the transposition table
+in :mod:`repro.search.problem`.
 """
 
 from __future__ import annotations
 
 import abc
 import math
+from collections import OrderedDict
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from ..relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..search.stats import SearchStats
 
 
 def round_half_up(value: float) -> int:
@@ -42,26 +55,48 @@ class Heuristic(abc.ABC):
 
     def __init__(self, target: Database) -> None:
         self._target = target
-        self._cache: dict[Database, int] = {}
-        self.evaluations = 0  # total calls, including cache hits
+        self._cache: OrderedDict[Database, int] = OrderedDict()
+        self._stats: "SearchStats | None" = None
+        #: optional LRU bound on the estimate cache (None = unbounded)
+        self.cache_capacity: int | None = None
 
     @property
     def target(self) -> Database:
         """The target instance this heuristic was compiled for."""
         return self._target
 
+    def bind_stats(self, stats: "SearchStats | None") -> None:
+        """Report cache hits/misses/evictions and timing to *stats*."""
+        self._stats = stats
+
+    def clear_cache(self) -> None:
+        """Drop all memoised estimates."""
+        self._cache.clear()
+
     def __call__(self, state: Database) -> int:
         """The estimated distance from *state* to the target (memoised)."""
-        self.evaluations += 1
-        cached = self._cache.get(state)
+        stats = self._stats
+        cache = self._cache
+        cached = cache.get(state)
         if cached is not None:
+            cache.move_to_end(state)
+            if stats is not None:
+                stats.heuristic_cache_hits += 1
             return cached
+        start = perf_counter()
         value = self.estimate(state)
         if value < 0:
             raise ValueError(
                 f"heuristic {self.name!r} returned negative estimate {value}"
             )
-        self._cache[state] = value
+        cache[state] = value
+        if stats is not None:
+            stats.heuristic_cache_misses += 1
+            stats.time_in_heuristic += perf_counter() - start
+        if self.cache_capacity is not None and len(cache) > self.cache_capacity:
+            cache.popitem(last=False)
+            if stats is not None:
+                stats.heuristic_cache_evictions += 1
         return value
 
     @abc.abstractmethod

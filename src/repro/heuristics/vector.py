@@ -36,9 +36,22 @@ def vector_norm(vector: TermVector) -> float:
     return math.sqrt(sum(count * count for count in vector.values()))
 
 
-def cosine_similarity(left: TermVector, right: TermVector) -> float:
-    """Cosine of the angle between two sparse vectors (0 for a zero vector)."""
-    denominator = vector_norm(left) * vector_norm(right)
+def cosine_similarity(
+    left: TermVector,
+    right: TermVector,
+    left_norm: float | None = None,
+    right_norm: float | None = None,
+) -> float:
+    """Cosine of the angle between two sparse vectors (0 for a zero vector).
+
+    Callers that hold one operand fixed (heuristics compiled against a
+    target) can pass its precomputed norm to skip recomputing it per call.
+    """
+    if left_norm is None:
+        left_norm = vector_norm(left)
+    if right_norm is None:
+        right_norm = vector_norm(right)
+    denominator = left_norm * right_norm
     if denominator == 0:
         return 0.0
     dot = sum(left[k] * right[k] for k in left.keys() & right.keys())
@@ -94,10 +107,13 @@ class CosineHeuristic(ScaledHeuristic):
     def __init__(self, target: Database, k: float | None = None) -> None:
         super().__init__(target, k)
         self._target_vector = term_vector(target)
+        self._target_norm = vector_norm(self._target_vector)
 
     def estimate(self, state: Database) -> int:
         state_vector = term_vector(state)
         if not state_vector and not self._target_vector:
             return 0  # both databases are empty of cells
-        similarity = cosine_similarity(state_vector, self._target_vector)
+        similarity = cosine_similarity(
+            state_vector, self._target_vector, right_norm=self._target_norm
+        )
         return round_half_up(self.k * (1.0 - similarity))

@@ -19,6 +19,7 @@ from .tnf import (
     TNF_ATTRIBUTES,
     database_string,
     iter_tnf_cells,
+    tnf_cells,
     tnf_decode,
     tnf_encode,
     tnf_projections,
@@ -51,6 +52,7 @@ __all__ = [
     "TNF_ATTRIBUTES",
     "database_string",
     "iter_tnf_cells",
+    "tnf_cells",
     "tnf_decode",
     "tnf_encode",
     "tnf_projections",

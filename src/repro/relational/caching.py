@@ -1,0 +1,43 @@
+"""Global kill-switch for derived-view memoisation.
+
+:class:`~repro.relational.relation.Relation` and
+:class:`~repro.relational.database.Database` memoise their derived views
+(column text sets, TNF triples, the database string, ...) because values are
+immutable.  The memoisation is semantically invisible, which makes it hard
+to measure — so this module provides an ablation switch the cache benches
+use to time the *unmemoised* kernel: with view caching disabled,
+``cached_view`` bypasses the per-value store entirely and recomputes on
+every call (the pre-memoisation behaviour).
+
+Not intended for production use: the switch is process-global and exists so
+``benchmarks/bench_cache_ablation.py`` can quantify what the caches buy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_view_caching_enabled = True
+
+
+def view_caching_enabled() -> bool:
+    """Whether derived-view memoisation is active (default True)."""
+    return _view_caching_enabled
+
+
+def set_view_caching(enabled: bool) -> None:
+    """Globally enable/disable derived-view memoisation."""
+    global _view_caching_enabled
+    _view_caching_enabled = bool(enabled)
+
+
+@contextmanager
+def view_caching_disabled() -> Iterator[None]:
+    """Context manager: run a block with view memoisation off."""
+    previous = _view_caching_enabled
+    set_view_caching(False)
+    try:
+        yield
+    finally:
+        set_view_caching(previous)

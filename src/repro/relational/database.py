@@ -4,15 +4,23 @@ A :class:`Database` is the unit of search in TUPELO: each search state is a
 whole database reached by applying transformation operators to the source
 critical instance.  Databases are canonical and hashable (relations sorted
 by name), so the search engine can deduplicate and compare states directly.
+
+Like :class:`~repro.relational.relation.Relation`, databases memoise their
+derived views (attribute-name union, value set, value-text set, TNF triples,
+the TNF database string, ...): states are immutable, and both search
+algorithms and every heuristic re-consult the same views for the same state
+many times per run.  Views are stored once per database value and always
+returned as immutable containers.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import NameCollisionError, SchemaError, UnknownRelationError
+from . import caching
 from .relation import Relation
-from .types import Value, is_null
+from .types import Value, is_null, value_to_text
 
 
 class Database:
@@ -22,7 +30,7 @@ class Database:
         relations: the member relations; duplicate names are rejected.
     """
 
-    __slots__ = ("_relations", "_hash")
+    __slots__ = ("_relations", "_by_name", "_hash", "_views")
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         by_name: dict[str, Relation] = {}
@@ -35,7 +43,28 @@ class Database:
         self._relations: tuple[Relation, ...] = tuple(
             by_name[name] for name in sorted(by_name)
         )
+        self._by_name: dict[str, Relation] = {
+            rel.name: rel for rel in self._relations
+        }
         self._hash = hash(self._relations)
+        self._views: dict[object, object] = {}
+
+    def cached_view(self, key: object, compute: Callable[[], object]) -> object:
+        """Memoise a derived view of this (immutable) database.
+
+        The first call under *key* evaluates *compute* and stores the result
+        for the database's lifetime; later calls return the stored object.
+        Stored views must be immutable (tuple/frozenset/str/int).  The TNF
+        views in :mod:`repro.relational.tnf` cache through this hook.
+        Respects the :mod:`~repro.relational.caching` ablation switch.
+        """
+        try:
+            return self._views[key]
+        except KeyError:
+            if not caching.view_caching_enabled():
+                return compute()
+            value = self._views[key] = compute()
+            return value
 
     # -- construction helpers --------------------------------------------------
 
@@ -65,14 +94,14 @@ class Database:
 
     def relation(self, name: str) -> Relation:
         """The relation called *name* (raises :class:`UnknownRelationError`)."""
-        for rel in self._relations:
-            if rel.name == name:
-                return rel
-        raise UnknownRelationError(name, self.relation_names)
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownRelationError(name, self.relation_names) from None
 
     def has_relation(self, name: str) -> bool:
         """Whether a relation called *name* exists."""
-        return any(rel.name == name for rel in self._relations)
+        return name in self._by_name
 
     def __iter__(self) -> Iterator[Relation]:
         return iter(self._relations)
@@ -91,23 +120,45 @@ class Database:
     # -- whole-database views (used heavily by heuristics) ------------------------
 
     def attribute_names(self) -> frozenset[str]:
-        """Union of attribute names across relations."""
-        names: set[str] = set()
-        for rel in self._relations:
-            names.update(rel.attributes)
-        return frozenset(names)
+        """Union of attribute names across relations (memoised)."""
+
+        def compute() -> frozenset[str]:
+            names: set[str] = set()
+            for rel in self._relations:
+                names.update(rel.attributes)
+            return frozenset(names)
+
+        return self.cached_view("attribute_names", compute)
 
     def value_set(self, include_null: bool = False) -> frozenset[Value]:
-        """Union of data values across relations."""
-        values: set[Value] = set()
-        for rel in self._relations:
-            values.update(rel.value_set(include_null=include_null))
-        return frozenset(values)
+        """Union of data values across relations (memoised)."""
+
+        def compute() -> frozenset[Value]:
+            values: set[Value] = set()
+            for rel in self._relations:
+                values.update(rel.value_set(include_null=include_null))
+            return frozenset(values)
+
+        return self.cached_view(("value_set", include_null), compute)
+
+    def value_texts(self) -> frozenset[str]:
+        """The text forms of all non-NULL data values (memoised).
+
+        The search proposal rules compare this view against target token
+        sets (e.g. demotions are proposed only when a metadata token is
+        still missing from the state's data values).
+        """
+        return self.cached_view(
+            "value_texts",
+            lambda: frozenset(value_to_text(v) for v in self.value_set()),
+        )
 
     @property
     def has_nulls(self) -> bool:
-        """Whether any relation contains a NULL value."""
-        return any(rel.has_nulls for rel in self._relations)
+        """Whether any relation contains a NULL value (memoised)."""
+        return self.cached_view(
+            "has_nulls", lambda: any(rel.has_nulls for rel in self._relations)
+        )
 
     # -- derivations ---------------------------------------------------------------
 
@@ -158,9 +209,8 @@ class Database:
         identical superset" of *other* in the sense of the paper's §2.3.
         """
         for target_rel in other:
-            if not self.has_relation(target_rel.name):
-                return False
-            if not self.relation(target_rel.name).contains(target_rel):
+            ours = self._by_name.get(target_rel.name)
+            if ours is None or not ours.contains(target_rel):
                 return False
         return True
 

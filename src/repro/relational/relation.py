@@ -5,6 +5,14 @@ Relations are *canonical*: attributes are stored in sorted order and rows in
 a frozenset, so two relations with the same name, attribute set, and tuple
 set are equal (and hash equal) regardless of construction order.  This is
 what lets the search engine deduplicate whole-database states cheaply.
+
+Immutability also makes every derived view (sorted rows, column value sets,
+column text sets, ...) a pure function of the relation, so views are computed
+lazily once and memoised for the lifetime of the value — IDA*/RBFS re-visit
+the same states across iterations and the successor-proposal rules consult
+the same column views many times per expansion.  All cached views are
+immutable containers (tuples / frozensets), so callers can never corrupt a
+cache through a returned reference.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import SchemaError, UnknownAttributeError
+from . import caching
 from .types import NULL, Value, check_value, is_null, value_sort_key, value_to_text
 
 Row = tuple[Value, ...]
@@ -31,7 +40,7 @@ class Relation:
     to :data:`~repro.relational.types.NULL`.
     """
 
-    __slots__ = ("_name", "_attributes", "_rows", "_index", "_hash")
+    __slots__ = ("_name", "_attributes", "_rows", "_index", "_hash", "_views")
 
     def __init__(
         self,
@@ -71,6 +80,23 @@ class Relation:
         self._rows: frozenset[Row] = frozenset(canonical_rows)
         self._index = {attr: i for i, attr in enumerate(canonical_attrs)}
         self._hash = hash((self._name, self._attributes, self._rows))
+        self._views: dict[object, object] = {}
+
+    def cached_view(self, key: object, compute: Callable[[], object]) -> object:
+        """Memoise a derived view of this (immutable) relation.
+
+        The first call under *key* evaluates *compute* and stores the result
+        for the relation's lifetime; later calls return the stored object.
+        Stored views must be immutable (tuple/frozenset/str/int).  Respects
+        the :mod:`~repro.relational.caching` ablation switch.
+        """
+        try:
+            return self._views[key]
+        except KeyError:
+            if not caching.view_caching_enabled():
+                return compute()
+            value = self._views[key] = compute()
+            return value
 
     # -- construction helpers ------------------------------------------------
 
@@ -114,8 +140,10 @@ class Relation:
 
     @property
     def attribute_set(self) -> frozenset[str]:
-        """Attribute names as a set."""
-        return frozenset(self._attributes)
+        """Attribute names as a set (memoised)."""
+        return self.cached_view(
+            "attribute_set", lambda: frozenset(self._attributes)
+        )
 
     @property
     def rows(self) -> frozenset[Row]:
@@ -162,30 +190,73 @@ class Relation:
         return tuple(row[pos] for row in self.sorted_rows())
 
     def column_values(self, attr: str, include_null: bool = False) -> frozenset[Value]:
-        """The set of values appearing in column *attr*."""
+        """The set of values appearing in column *attr* (memoised)."""
         pos = self.attribute_position(attr)
-        values = (row[pos] for row in self._rows)
-        if include_null:
-            return frozenset(values)
-        return frozenset(v for v in values if not is_null(v))
+
+        def compute() -> frozenset[Value]:
+            values = (row[pos] for row in self._rows)
+            if include_null:
+                return frozenset(values)
+            return frozenset(v for v in values if not is_null(v))
+
+        return self.cached_view(("column_values", attr, include_null), compute)
+
+    def column_texts(self, attr: str) -> frozenset[str]:
+        """The text forms of the non-NULL values in column *attr* (memoised).
+
+        This is the view the search proposal rules compare against target
+        token sets (promotions, partitions, dereferences): values are
+        rendered with :func:`~repro.relational.types.value_to_text`.
+        """
+        self.attribute_position(attr)  # raise early with a precise error
+
+        def compute() -> frozenset[str]:
+            return frozenset(
+                value_to_text(v) for v in self.column_values(attr)
+            )
+
+        return self.cached_view(("column_texts", attr), compute)
 
     def value_set(self, include_null: bool = False) -> frozenset[Value]:
-        """The set of all data values appearing anywhere in the relation."""
-        values: set[Value] = set()
-        for row in self._rows:
-            for v in row:
-                if include_null or not is_null(v):
-                    values.add(v)
-        return frozenset(values)
+        """The set of all data values appearing anywhere (memoised)."""
+
+        def compute() -> frozenset[Value]:
+            values: set[Value] = set()
+            for row in self._rows:
+                for v in row:
+                    if include_null or not is_null(v):
+                        values.add(v)
+            return frozenset(values)
+
+        return self.cached_view(("value_set", include_null), compute)
 
     @property
     def has_nulls(self) -> bool:
-        """Whether any tuple contains a NULL."""
-        return any(any(is_null(v) for v in row) for row in self._rows)
+        """Whether any tuple contains a NULL (memoised)."""
+        return self.cached_view(
+            "has_nulls",
+            lambda: any(any(is_null(v) for v in row) for row in self._rows),
+        )
 
     def sorted_rows(self) -> list[Row]:
-        """Rows in a deterministic total order (for display and TNF ids)."""
-        return sorted(self._rows, key=lambda row: tuple(value_sort_key(v) for v in row))
+        """Rows in a deterministic total order (for display and TNF ids).
+
+        Returns a fresh list each call; the underlying ordering is computed
+        once and cached (see :meth:`sorted_rows_view`).
+        """
+        return list(self.sorted_rows_view())
+
+    def sorted_rows_view(self) -> tuple[Row, ...]:
+        """The memoised, immutable form of :meth:`sorted_rows`."""
+        return self.cached_view(
+            "sorted_rows",
+            lambda: tuple(
+                sorted(
+                    self._rows,
+                    key=lambda row: tuple(value_sort_key(v) for v in row),
+                )
+            ),
+        )
 
     def iter_dicts(self) -> Iterator[dict[str, Value]]:
         """Iterate rows as attribute->value dicts in deterministic order."""
@@ -265,8 +336,14 @@ class Relation:
         """
         if not other.attribute_set <= self.attribute_set:
             return False
-        positions = [self.attribute_position(a) for a in other.attributes]
-        projected = {tuple(row[p] for p in positions) for row in self._rows}
+
+        def compute() -> frozenset[Row]:
+            positions = [self.attribute_position(a) for a in other.attributes]
+            return frozenset(
+                tuple(row[p] for p in positions) for row in self._rows
+            )
+
+        projected = self.cached_view(("projection", other.attributes), compute)
         return other.rows <= projected
 
     def __eq__(self, other: object) -> bool:

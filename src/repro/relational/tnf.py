@@ -34,15 +34,27 @@ def iter_tnf_cells(db: Database) -> Iterator[TNFCell]:
     order and rows in canonical sorted order, so the encoding of equal
     databases is identical.
     """
-    tid_counter = 0
-    for rel in db:
-        for row in rel.sorted_rows():
-            tid_counter += 1
-            tid = f"t{tid_counter}"
-            for attr, value in zip(rel.attributes, row):
-                if is_null(value):
-                    continue
-                yield (tid, rel.name, attr, value)
+    return iter(tnf_cells(db))
+
+
+def tnf_cells(db: Database) -> tuple[TNFCell, ...]:
+    """The TNF cells of *db* in deterministic order (memoised on *db*)."""
+
+    def compute() -> tuple[TNFCell, ...]:
+        cells: list[TNFCell] = []
+        tid_counter = 0
+        for rel in db:
+            attributes = rel.attributes
+            for row in rel.sorted_rows_view():
+                tid_counter += 1
+                tid = f"t{tid_counter}"
+                for attr, value in zip(attributes, row):
+                    if is_null(value):
+                        continue
+                    cells.append((tid, rel.name, attr, value))
+        return tuple(cells)
+
+    return db.cached_view("tnf_cells", compute)
 
 
 def tnf_encode(db: Database, table_name: str = "TNF") -> Relation:
@@ -50,7 +62,7 @@ def tnf_encode(db: Database, table_name: str = "TNF") -> Relation:
 
     Example 4 of the paper shows this encoding for the FlightsC database.
     """
-    return Relation(table_name, TNF_ATTRIBUTES, list(iter_tnf_cells(db)))
+    return Relation(table_name, TNF_ATTRIBUTES, tnf_cells(db))
 
 
 def tnf_decode(tnf: Relation) -> Database:
@@ -99,16 +111,19 @@ def tnf_decode(tnf: Relation) -> Database:
     )
 
 
-def tnf_triples(db: Database) -> list[tuple[str, str, str]]:
+def tnf_triples(db: Database) -> tuple[tuple[str, str, str], ...]:
     """The (REL, ATT, VALUE) triples of *db*'s TNF, values as text.
 
     This is the term-vector view of §3: each database is a bag of
-    (relation, attribute, value) token triples.
+    (relation, attribute, value) token triples.  Memoised on *db*.
     """
-    return [
-        (rel, att, value_to_text(value))
-        for (_tid, rel, att, value) in iter_tnf_cells(db)
-    ]
+    return db.cached_view(
+        "tnf_triples",
+        lambda: tuple(
+            (rel, att, value_to_text(value))
+            for (_tid, rel, att, value) in tnf_cells(db)
+        ),
+    )
 
 
 def database_string(db: Database) -> str:
@@ -116,9 +131,14 @@ def database_string(db: Database) -> str:
 
     Each TNF row contributes the concatenation REL + ATT + VALUE; the row
     strings are sorted lexicographically (with repetitions) and concatenated.
+    Memoised on *db*.
     """
-    pieces = sorted(rel + att + value for rel, att, value in tnf_triples(db))
-    return "".join(pieces)
+    return db.cached_view(
+        "database_string",
+        lambda: "".join(
+            sorted(rel + att + value for rel, att, value in tnf_triples(db))
+        ),
+    )
 
 
 def tnf_projections(
@@ -126,13 +146,17 @@ def tnf_projections(
 ) -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
     """The (π_REL, π_ATT, π_VALUE) projections of *db*'s TNF as text sets.
 
-    These drive the set-based heuristics h1/h2/h3.
+    These drive the set-based heuristics h1/h2/h3.  Memoised on *db*.
     """
-    rels: set[str] = set()
-    atts: set[str] = set()
-    values: set[str] = set()
-    for rel, att, value in tnf_triples(db):
-        rels.add(rel)
-        atts.add(att)
-        values.add(value)
-    return frozenset(rels), frozenset(atts), frozenset(values)
+
+    def compute() -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
+        rels: set[str] = set()
+        atts: set[str] = set()
+        values: set[str] = set()
+        for rel, att, value in tnf_triples(db):
+            rels.add(rel)
+            atts.add(att)
+            values.add(value)
+        return frozenset(rels), frozenset(atts), frozenset(values)
+
+    return db.cached_view("tnf_projections", compute)

@@ -38,8 +38,8 @@ def make_beam(width: int = DEFAULT_BEAM_WIDTH):
         while layer:
             stats.iteration()
             for state, _last, path in layer:
-                stats.examine(len(path))
-                if problem.is_goal(state):
+                stats.examine(len(path), state)
+                if problem.is_goal(state, stats):
                     return path
             if max_depth is not None and depth >= max_depth:
                 break

@@ -46,8 +46,8 @@ def _best_first(
             continue
         closed.add(state)
         g = best_g[state]
-        stats.examine(g)
-        if problem.is_goal(state):
+        stats.examine(g, state)
+        if problem.is_goal(state, stats):
             return _reconstruct(parent, state)
         if max_depth is not None and g >= max_depth:
             continue

@@ -1,14 +1,15 @@
 """Search configuration.
 
 Bundles the knobs of the mapping-discovery search: the state budget, which
-operator families the successor generator may propose, and whether the
+operator families the successor generator may propose, whether the
 symmetry-breaking canonicalisation of commuting operator runs is active
-(the paper's "simple enhancements to search", §2.3).
+(the paper's "simple enhancements to search", §2.3), and the memoisation
+knobs of the transposition table (see :mod:`repro.search.problem`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 #: operator family tags accepted by :attr:`SearchConfig.enabled_operators`
 OPERATOR_FAMILIES: tuple[str, ...] = (
@@ -44,6 +45,15 @@ class SearchConfig:
         prune_targets: restrict operator proposals to ones that can supply a
             missing target token (the remaining §2.3 enhancement rules).
         max_depth: optional hard depth cap (None = unbounded).
+        cache_successors: memoise ``successors(state, last_op)`` results and
+            ``is_goal(state)`` verdicts in the problem's transposition table
+            so IDA*'s iteration re-probes and RBFS's re-expansions do not
+            re-apply operators.  Semantically transparent: the cached search
+            visits exactly the same states in the same order.
+        cache_capacity: bound (entries, LRU eviction) on each memo table —
+            the transposition table, the goal-verdict table, and the
+            heuristic estimate cache.  ``None`` means unbounded, trading the
+            algorithms' linear-memory guarantee for maximum reuse.
     """
 
     max_states: int = 1_000_000
@@ -53,6 +63,8 @@ class SearchConfig:
     break_symmetry: bool = True
     prune_targets: bool = True
     max_depth: int | None = None
+    cache_successors: bool = True
+    cache_capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_states < 1:
@@ -65,6 +77,10 @@ class SearchConfig:
             )
         if self.max_depth is not None and self.max_depth < 0:
             raise ValueError(f"max_depth must be non-negative, got {self.max_depth}")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be positive or None, got {self.cache_capacity}"
+            )
 
     def allows(self, family: str) -> bool:
         """Whether the given operator family may be proposed."""
@@ -72,10 +88,6 @@ class SearchConfig:
 
     def without_operators(self, *families: str) -> "SearchConfig":
         """A copy with the given operator families disabled."""
-        return SearchConfig(
-            max_states=self.max_states,
-            enabled_operators=self.enabled_operators - set(families),
-            break_symmetry=self.break_symmetry,
-            prune_targets=self.prune_targets,
-            max_depth=self.max_depth,
+        return replace(
+            self, enabled_operators=self.enabled_operators - set(families)
         )

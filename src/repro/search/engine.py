@@ -89,6 +89,8 @@ def discover_mapping(
     )
     h = make_heuristic(heuristic, target, k=k, algorithm=algorithm)
     stats = SearchStats(budget=problem.config.max_states)
+    h.cache_capacity = problem.config.cache_capacity
+    h.bind_stats(stats)
     try:
         operators = ALGORITHMS[algorithm](problem, h, stats)
         status = STATUS_FOUND

@@ -38,11 +38,11 @@ def ida_star(
 
     def probe(state: Database, last_op: Operator | None, g: int, bound: float):
         """DFS bounded by f <= bound; returns _FOUND or the next bound."""
-        stats.examine(g)
+        stats.examine(g, state)
         f = g + heuristic(state)
         if f > bound:
             return f
-        if problem.is_goal(state):
+        if problem.is_goal(state, stats):
             return _FOUND
         if max_depth is not None and g >= max_depth:
             return math.inf

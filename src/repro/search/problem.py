@@ -19,10 +19,25 @@ Successor generation implements the paper's "simple enhancements to search":
 
 Both behaviours are controlled by :class:`~repro.search.config.SearchConfig`
 so the ablation benches can measure their impact.
+
+**Transposition table.**  IDA* and RBFS accept "redundant explorations" as
+the price of linear memory (§2.3): the same state is re-expanded on every
+deepening iteration / backtrack.  Because states are immutable and hashable,
+re-deriving its successor list (and goal verdict) each time is pure waste —
+:class:`MappingProblem` therefore memoises ``successors(state, last_op)``
+results and ``is_goal(state)`` verdicts.  The successor key includes the
+*canonical symmetry key* of ``last_op`` (the part of the producing operator
+the symmetry-breaking rules actually consult), so cached results are exact.
+``SearchConfig.cache_successors`` toggles the table and
+``SearchConfig.cache_capacity`` bounds it (LRU eviction); hit / miss /
+eviction counts and per-phase timings land in
+:class:`~repro.search.stats.SearchStats`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from ..fira.base import Operator
@@ -41,7 +56,6 @@ from ..fira.structure import DropAttribute
 from ..errors import NameCollisionError, OperatorApplicationError, SchemaError
 from ..relational.database import Database
 from ..relational.relation import Relation
-from ..relational.types import value_to_text
 from ..semantics.correspondence import Correspondence
 from ..semantics.functions import FunctionRegistry, builtin_registry
 from .config import SearchConfig
@@ -99,9 +113,16 @@ class MappingProblem:
         self._target_attrs_by_rel = {
             rel.name: rel.attribute_set for rel in target
         }
-        self._target_value_texts = frozenset(
-            value_to_text(v) for v in target.value_set()
-        )
+        self._target_value_texts = target.value_texts()
+
+        # Transposition table (successor lists), goal-verdict table, and the
+        # state intern table (canonical object per state value, so re-derived
+        # equal states share one set of memoised views).
+        self._successor_cache: OrderedDict[
+            tuple[Database, object], list[tuple[Operator, Database]]
+        ] = OrderedDict()
+        self._goal_cache: OrderedDict[Database, bool] = OrderedDict()
+        self._interned: OrderedDict[Database, Database] = OrderedDict()
 
     # -- problem interface -----------------------------------------------------
 
@@ -109,9 +130,63 @@ class MappingProblem:
         """The initial search state (the source critical instance)."""
         return self.source
 
-    def is_goal(self, state: Database) -> bool:
-        """Goal test: *state* contains the target critical instance."""
-        return state.contains(self.target)
+    def clear_caches(self) -> None:
+        """Drop the transposition, goal-verdict, and intern tables."""
+        self._successor_cache.clear()
+        self._goal_cache.clear()
+        self._interned.clear()
+
+    def _intern(self, state: Database) -> Database:
+        """The canonical object for *state* (first-seen equal value wins).
+
+        Search re-derives equal databases along many paths; returning one
+        canonical object per value means every memoised view (column texts,
+        TNF triples, ...) is computed once per *value* instead of once per
+        derivation.  Semantically free: databases are immutable and compare
+        by value.
+        """
+        interned = self._interned.get(state)
+        if interned is not None:
+            self._interned.move_to_end(state)
+            return interned
+        self._interned[state] = state
+        capacity = self.config.cache_capacity
+        if capacity is not None and len(self._interned) > capacity:
+            self._interned.popitem(last=False)
+        return state
+
+    def is_goal(
+        self, state: Database, stats: SearchStats | None = None
+    ) -> bool:
+        """Goal test: *state* contains the target critical instance.
+
+        Verdicts are memoised when ``config.cache_successors`` is on; time
+        spent and hit/miss counts are recorded on *stats* when given.
+        """
+        start = perf_counter()
+        try:
+            if not self.config.cache_successors:
+                return state.contains(self.target)
+            cache = self._goal_cache
+            verdict = cache.get(state)
+            if verdict is not None or state in cache:
+                cache.move_to_end(state)
+                if stats is not None:
+                    stats.goal_cache_hits += 1
+                return bool(verdict)
+            verdict = state.contains(self.target)
+            cache[state] = verdict
+            if stats is not None:
+                stats.goal_cache_misses += 1
+            capacity = self.config.cache_capacity
+            if capacity is not None and len(cache) > capacity:
+                cache.popitem(last=False)
+                if stats is not None:
+                    stats.goal_cache_evictions += 1
+            return verdict
+        finally:
+            if stats is not None:
+                stats.time_in_goal_tests += perf_counter() - start
 
     def successors(
         self,
@@ -124,9 +199,70 @@ class MappingProblem:
         *last_op* is the operator that produced *state* (None at the root);
         it drives the symmetry-breaking canonicalisation of commuting runs.
         Results are deterministic: sorted by family order then textual form.
+
+        When ``config.cache_successors`` is on, results are served from the
+        transposition table keyed by ``(state, symmetry key of last_op)``;
+        a hit skips proposal and operator application entirely.
+        ``stats.states_generated`` counts successors *delivered*, so it is
+        identical with the table on or off.
         """
+        start = perf_counter()
+        try:
+            if not self.config.cache_successors:
+                out = self._compute_successors(state, last_op)
+                if stats is not None:
+                    stats.generated(len(out))
+                return out
+            key = (state, self._symmetry_key(last_op))
+            cache = self._successor_cache
+            hit = cache.get(key)
+            if hit is not None:
+                cache.move_to_end(key)
+                if stats is not None:
+                    stats.successor_cache_hits += 1
+                    stats.generated(len(hit))
+                return list(hit)
+            out = self._compute_successors(state, last_op)
+            cache[key] = out
+            if stats is not None:
+                stats.successor_cache_misses += 1
+                stats.generated(len(out))
+            capacity = self.config.cache_capacity
+            if capacity is not None and len(cache) > capacity:
+                cache.popitem(last=False)
+                if stats is not None:
+                    stats.successor_cache_evictions += 1
+            return list(out)
+        finally:
+            if stats is not None:
+                stats.time_in_successors += perf_counter() - start
+
+    def _symmetry_key(self, last_op: Operator | None) -> object:
+        """The part of *last_op* the proposal rules actually consult.
+
+        Successor sets depend on the producing operator only through the
+        symmetry-breaking comparisons in ``_propose_attribute_renames``,
+        ``_propose_relation_renames``, and ``_propose_drops`` — all other
+        operator classes (and ``break_symmetry=False``) make the successor
+        set independent of ``last_op``, so they share one canonical key.
+        """
+        if not self.config.break_symmetry or last_op is None:
+            return None
+        if isinstance(last_op, RenameAttribute):
+            return ("rename_att", last_op.relation, last_op.old)
+        if isinstance(last_op, RenameRelation):
+            return ("rename_rel", last_op.old)
+        if isinstance(last_op, DropAttribute):
+            return ("drop", last_op.relation, last_op.attribute)
+        return None
+
+    def _compute_successors(
+        self, state: Database, last_op: Operator | None
+    ) -> list[tuple[Operator, Database]]:
+        """Uncached successor generation (propose, apply, deduplicate)."""
         moves = self._propose(state, last_op)
         moves.sort(key=lambda op: (_FAMILY_ORDER.get(op.keyword, 99), str(op)))
+        intern = self.config.cache_successors
         out: list[tuple[Operator, Database]] = []
         seen: set[Database] = {state}
         for op in moves:
@@ -137,9 +273,7 @@ class MappingProblem:
             if child in seen:
                 continue  # no-op or duplicate of an earlier move
             seen.add(child)
-            out.append((op, child))
-        if stats is not None:
-            stats.generated(len(out))
+            out.append((op, self._intern(child) if intern else child))
         return out
 
     # -- proposal rules -----------------------------------------------------------
@@ -248,16 +382,11 @@ class MappingProblem:
                 continue
             for name_attr in rel.attributes:
                 if self.config.prune_targets:
-                    texts = {
-                        value_to_text(v) for v in rel.column_values(name_attr)
-                    }
-                    if not texts & wanted:
+                    if not rel.column_texts(name_attr) & wanted:
                         continue
                 for value_attr in rel.attributes:
                     if self.config.prune_targets:
-                        value_texts = {
-                            value_to_text(v) for v in rel.column_values(value_attr)
-                        }
+                        value_texts = rel.column_texts(value_attr)
                         if not value_texts & self._target_value_texts:
                             continue
                     yield Promote(rel.name, name_attr, value_attr)
@@ -268,8 +397,7 @@ class MappingProblem:
         for rel in state:
             for attr in rel.attributes:
                 if self.config.prune_targets:
-                    texts = {value_to_text(v) for v in rel.column_values(attr)}
-                    if not texts & missing_rels:
+                    if not rel.column_texts(attr) & missing_rels:
                         continue
                 yield Partition(rel.name, attr)
 
@@ -314,16 +442,14 @@ class MappingProblem:
                 continue
             for pointer in rel.attributes:
                 if self.config.prune_targets:
-                    texts = {value_to_text(v) for v in rel.column_values(pointer)}
-                    if not texts & rel.attribute_set:
+                    if not rel.column_texts(pointer) & rel.attribute_set:
                         continue  # pointer values never name an attribute
                 for new in sorted(wanted):
                     yield Dereference(rel.name, pointer, new)
 
     def _propose_demotes(self, state: Database) -> Iterable[Operator]:
         if self.config.prune_targets:
-            state_value_texts = {value_to_text(v) for v in state.value_set()}
-            missing_values = self._target_value_texts - state_value_texts
+            missing_values = self._target_value_texts - state.value_texts()
         for rel in state:
             if self.config.prune_targets:
                 names = set(rel.attributes) | {rel.name}

@@ -48,8 +48,8 @@ def rbfs(
 
         Raises _Found when a goal is reached (path_ops then holds the path).
         """
-        stats.examine(g)
-        if problem.is_goal(state):
+        stats.examine(g, state)
+        if problem.is_goal(state, stats):
             raise _Found
         if max_depth is not None and g >= max_depth:
             return math.inf

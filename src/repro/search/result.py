@@ -45,6 +45,21 @@ class SearchResult:
         """Shorthand for the paper's performance metric."""
         return self.stats.states_examined
 
+    @property
+    def cache_hits(self) -> int:
+        """Total memo-cache hits (transposition + goal + heuristic)."""
+        return self.stats.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Total memo-cache misses (transposition + goal + heuristic)."""
+        return self.stats.cache_misses
+
+    @property
+    def cache_evictions(self) -> int:
+        """Total memo-cache LRU evictions."""
+        return self.stats.cache_evictions
+
     def __repr__(self) -> str:
         size = len(self.expression) if self.expression is not None else "-"
         return (

@@ -4,14 +4,24 @@ The paper's performance measure throughout §5 is the **number of states
 examined** during search; :class:`SearchStats` tracks that counter plus the
 secondary quantities (states generated, iterations/backtracks, peak depth,
 wall-clock time) used by the ablation benches.
+
+The memoisation layer (transposition table, goal-verdict table, heuristic
+estimate cache — see :mod:`repro.search.problem` and
+:mod:`repro.heuristics.base`) reports through here as well: hit / miss /
+eviction counters per cache, and per-phase wall-clock (successor generation,
+heuristic evaluation, goal tests) so benches can attribute time saved.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import SearchBudgetExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.database import Database
 
 
 @dataclass
@@ -23,9 +33,32 @@ class SearchStats:
         states_examined: nodes visited (goal-tested) — the paper's metric.
             IDA* re-examines states across deepening iterations and RBFS
             across backtracks; such re-visits count again, as in the paper.
-        states_generated: successor databases constructed.
+        states_generated: successor databases delivered to the algorithm
+            (cache hits count again, so the counter is identical with the
+            transposition table on or off).
         iterations: IDA* deepening iterations / RBFS recursive re-expansions.
         max_depth: deepest ``g`` reached.
+        successor_cache_hits: transposition-table hits (successor lists
+            served without re-applying operators).
+        successor_cache_misses: transposition-table misses (lists computed).
+        successor_cache_evictions: transposition-table LRU evictions.
+        goal_cache_hits: goal-verdict cache hits.
+        goal_cache_misses: goal-verdict cache misses.
+        goal_cache_evictions: goal-verdict cache LRU evictions.
+        heuristic_cache_hits: heuristic estimate-cache hits.
+        heuristic_cache_misses: heuristic estimate-cache misses (estimates
+            actually computed).
+        heuristic_cache_evictions: heuristic estimate-cache LRU evictions.
+        time_in_successors: wall-clock seconds spent in successor generation
+            (cache lookups included).
+        time_in_heuristic: wall-clock seconds spent computing heuristic
+            estimates (cache hits are effectively free and not timed).
+        time_in_goal_tests: wall-clock seconds spent in goal containment
+            tests (cache lookups included).
+        trace: when True, :meth:`examine` records each examined state in
+            :attr:`examined_states` — the equivalence suite uses this to
+            assert cached and uncached searches examine identical state
+            sequences.
     """
 
     budget: int = 1_000_000
@@ -33,14 +66,30 @@ class SearchStats:
     states_generated: int = 0
     iterations: int = 0
     max_depth: int = 0
+    successor_cache_hits: int = 0
+    successor_cache_misses: int = 0
+    successor_cache_evictions: int = 0
+    goal_cache_hits: int = 0
+    goal_cache_misses: int = 0
+    goal_cache_evictions: int = 0
+    heuristic_cache_hits: int = 0
+    heuristic_cache_misses: int = 0
+    heuristic_cache_evictions: int = 0
+    time_in_successors: float = 0.0
+    time_in_heuristic: float = 0.0
+    time_in_goal_tests: float = 0.0
+    trace: bool = False
+    examined_states: "list[Database]" = field(default_factory=list)
     started_at: float = field(default_factory=time.perf_counter)
     elapsed_seconds: float = 0.0
 
-    def examine(self, depth: int = 0) -> None:
+    def examine(self, depth: int = 0, state: "Database | None" = None) -> None:
         """Record one state examination; raise if the budget is exhausted."""
         self.states_examined += 1
         if depth > self.max_depth:
             self.max_depth = depth
+        if self.trace and state is not None:
+            self.examined_states.append(state)
         if self.states_examined > self.budget:
             raise SearchBudgetExceeded(self.budget, self.states_examined)
 
@@ -56,6 +105,41 @@ class SearchStats:
         """Freeze :attr:`elapsed_seconds`."""
         self.elapsed_seconds = time.perf_counter() - self.started_at
 
+    # -- cache aggregates ------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Total hits across all three memo caches."""
+        return (
+            self.successor_cache_hits
+            + self.goal_cache_hits
+            + self.heuristic_cache_hits
+        )
+
+    @property
+    def cache_misses(self) -> int:
+        """Total misses across all three memo caches."""
+        return (
+            self.successor_cache_misses
+            + self.goal_cache_misses
+            + self.heuristic_cache_misses
+        )
+
+    @property
+    def cache_evictions(self) -> int:
+        """Total LRU evictions across all three memo caches."""
+        return (
+            self.successor_cache_evictions
+            + self.goal_cache_evictions
+            + self.heuristic_cache_evictions
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / (hits + misses) across all caches (0.0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     def as_dict(self) -> dict[str, float | int]:
         """Plain-dict rendering for reports and benches."""
         return {
@@ -64,4 +148,16 @@ class SearchStats:
             "iterations": self.iterations,
             "max_depth": self.max_depth,
             "elapsed_seconds": self.elapsed_seconds,
+            "successor_cache_hits": self.successor_cache_hits,
+            "successor_cache_misses": self.successor_cache_misses,
+            "successor_cache_evictions": self.successor_cache_evictions,
+            "goal_cache_hits": self.goal_cache_hits,
+            "goal_cache_misses": self.goal_cache_misses,
+            "goal_cache_evictions": self.goal_cache_evictions,
+            "heuristic_cache_hits": self.heuristic_cache_hits,
+            "heuristic_cache_misses": self.heuristic_cache_misses,
+            "heuristic_cache_evictions": self.heuristic_cache_evictions,
+            "time_in_successors": self.time_in_successors,
+            "time_in_heuristic": self.time_in_heuristic,
+            "time_in_goal_tests": self.time_in_goal_tests,
         }

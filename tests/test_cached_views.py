@@ -1,0 +1,137 @@
+"""Unit tests for the memoised derived views on Relation/Database values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownAttributeError
+from repro.relational import Database, Relation, database_string, tnf_cells
+from repro.relational.caching import (
+    set_view_caching,
+    view_caching_disabled,
+    view_caching_enabled,
+)
+from repro.relational.tnf import tnf_projections, tnf_triples
+
+
+@pytest.fixture
+def rel():
+    return Relation("R", ("A", "B"), [(1, "x"), (2, "y")])
+
+
+@pytest.fixture
+def db(rel):
+    return Database([rel, Relation("S", ("C",), [(3,)])])
+
+
+class TestRelationViews:
+    def test_views_computed_once(self, rel):
+        """Repeated calls return the identical stored object."""
+        assert rel.value_set() is rel.value_set()
+        assert rel.attribute_set is rel.attribute_set
+        assert rel.column_values("A") is rel.column_values("A")
+        assert rel.column_texts("A") is rel.column_texts("A")
+        assert rel.sorted_rows_view() is rel.sorted_rows_view()
+
+    def test_views_are_immutable_containers(self, rel):
+        assert isinstance(rel.value_set(), frozenset)
+        assert isinstance(rel.column_texts("A"), frozenset)
+        assert isinstance(rel.sorted_rows_view(), tuple)
+
+    def test_column_texts_contents(self, rel):
+        assert rel.column_texts("A") == frozenset({"1", "2"})
+        assert rel.column_texts("B") == frozenset({"x", "y"})
+
+    def test_column_texts_unknown_attribute(self, rel):
+        with pytest.raises(UnknownAttributeError):
+            rel.column_texts("Nope")
+
+    def test_sorted_rows_returns_a_private_list(self, rel):
+        """Mutating the list sorted_rows() hands out can't poison the view."""
+        rows = rel.sorted_rows()
+        assert rows == list(rel.sorted_rows_view())
+        rows.append(("junk",))
+        assert rel.sorted_rows() == list(rel.sorted_rows_view())
+        assert ("junk",) not in rel.sorted_rows_view()
+
+    def test_include_null_variants_cached_separately(self):
+        from repro.relational import NULL
+
+        rel = Relation("R", ("A",), [(1,), (NULL,)])
+        assert NULL not in rel.value_set()
+        assert NULL in rel.value_set(include_null=True)
+        assert rel.value_set() is not rel.value_set(include_null=True)
+
+    def test_derived_relations_start_cold_and_correct(self, rel):
+        warm = rel.column_texts("A")
+        renamed = rel.rename_attribute("A", "Z")
+        assert renamed.column_texts("Z") == warm
+        assert rel.column_texts("A") is warm  # original untouched
+        with pytest.raises(UnknownAttributeError):
+            renamed.column_texts("A")
+
+
+class TestDatabaseViews:
+    def test_views_computed_once(self, db):
+        assert db.attribute_names() is db.attribute_names()
+        assert db.value_set() is db.value_set()
+        assert db.value_texts() is db.value_texts()
+
+    def test_value_texts_contents(self, db):
+        assert db.value_texts() == frozenset({"1", "2", "3", "x", "y"})
+
+    def test_tnf_views_memoised(self, db):
+        assert tnf_cells(db) is tnf_cells(db)
+        assert tnf_triples(db) is tnf_triples(db)
+        assert database_string(db) is database_string(db)
+        assert tnf_projections(db) is tnf_projections(db)
+
+    def test_tnf_views_are_immutable(self, db):
+        assert isinstance(tnf_cells(db), tuple)
+        assert isinstance(tnf_triples(db), tuple)
+        assert isinstance(database_string(db), str)
+        rels, atts, vals = tnf_projections(db)
+        assert all(isinstance(s, frozenset) for s in (rels, atts, vals))
+
+    def test_with_relation_does_not_corrupt_views(self, db):
+        names = db.attribute_names()
+        bigger = db.with_relation(Relation("T", ("D",), [(4,)]))
+        assert "D" in bigger.attribute_names()
+        assert db.attribute_names() is names
+        assert "D" not in names
+
+
+class TestKillSwitch:
+    def test_enabled_by_default(self):
+        assert view_caching_enabled()
+
+    def test_disabled_views_recompute(self, rel):
+        with view_caching_disabled():
+            assert not view_caching_enabled()
+            first = rel.value_set()
+            second = rel.value_set()
+        assert first == second
+        assert first is not second  # nothing was stored
+        assert view_caching_enabled()
+        # back on: the store fills as usual
+        assert rel.value_set() is rel.value_set()
+
+    def test_disabled_still_serves_already_cached_views(self, rel):
+        warm = rel.column_texts("A")
+        with view_caching_disabled():
+            assert rel.column_texts("A") is warm
+
+    def test_set_view_caching_restores(self):
+        set_view_caching(False)
+        try:
+            assert not view_caching_enabled()
+        finally:
+            set_view_caching(True)
+        assert view_caching_enabled()
+
+    def test_nested_disable_restores_previous(self):
+        with view_caching_disabled():
+            with view_caching_disabled():
+                assert not view_caching_enabled()
+            assert not view_caching_enabled()
+        assert view_caching_enabled()

@@ -99,11 +99,30 @@ class TestH3:
 
 class TestCaching:
     def test_estimates_memoised(self, db_a, db_b):
+        from repro.search import SearchStats
+
         h = MissingTokensHeuristic(db_a)
+        stats = SearchStats()
+        h.bind_stats(stats)
         first = h(db_b)
         second = h(db_b)
         assert first == second
-        assert h.evaluations == 2  # both calls counted, one computed
+        assert stats.heuristic_cache_misses == 1  # one computed
+        assert stats.heuristic_cache_hits == 1  # one served from cache
+
+    def test_cache_capacity_bound(self, db_a, db_b, db_c):
+        from repro.search import SearchStats
+
+        h = MissingTokensHeuristic(db_a)
+        h.cache_capacity = 1
+        stats = SearchStats()
+        h.bind_stats(stats)
+        h(db_b)
+        h(db_c)  # evicts db_b under capacity 1
+        h(db_b)  # recomputed, not a hit
+        assert stats.heuristic_cache_evictions >= 1
+        assert stats.heuristic_cache_hits == 0
+        assert len(h._cache) <= 1
 
     def test_negative_estimate_rejected(self, db_a):
         class Broken(MissingTokensHeuristic):
