@@ -8,11 +8,16 @@ Commands::
     python -m repro discover --source DIR --target DIR
         [--algorithm rbfs] [--heuristic h1] [--k K] [--budget N]
         [--correspondence "Total<-add(Cost,Fee)"]...
-        [--show-matching] [--show-sql] [--output FILE]
+        [--show-matching] [--show-sql] [--output FILE] [--trace FILE]
 
     python -m repro apply --expression FILE --source DIR [--output DIR]
 
     python -m repro tnf --source DIR
+
+    python -m repro trace (--source DIR --target DIR | --synthetic N)
+        --output FILE [--algorithm ida] [--heuristic h0] [--budget N]
+
+    python -m repro trace --inspect FILE
 
     python -m repro info
 """
@@ -26,6 +31,16 @@ from pathlib import Path
 from .errors import TupeloError
 from .fira import compile_expression, extract_matching, parse_expression
 from .heuristics.registry import EXTENSION_HEURISTIC_NAMES, HEURISTIC_NAMES
+from .obs import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    SINK_NAMES,
+    JsonlSink,
+    Tracer,
+    load_trace,
+    run_profile,
+    validate_events,
+)
 from .relational import load_database_dir, save_database, tnf_encode
 from .search import ALGORITHM_NAMES, SearchConfig, discover_mapping
 from .semantics import builtin_registry, decode_correspondence
@@ -81,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument(
         "--output", default=None, help="write the expression to this file"
     )
+    discover.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a JSONL event trace of the search to FILE",
+    )
 
     apply_cmd = sub.add_parser(
         "apply", help="execute a mapping expression on a source instance"
@@ -94,8 +115,53 @@ def build_parser() -> argparse.ArgumentParser:
     tnf = sub.add_parser("tnf", help="print the TNF encoding of an instance")
     tnf.add_argument("--source", required=True, help="source CSV directory")
 
+    trace = sub.add_parser(
+        "trace",
+        help="record a JSONL search trace and pretty-print its run profile",
+    )
+    trace.add_argument("--source", default=None, help="source CSV directory")
+    trace.add_argument("--target", default=None, help="target CSV directory")
+    trace.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace the size-N synthetic matching workload (Fig. 5) instead "
+        "of CSV instances",
+    )
+    trace.add_argument(
+        "--algorithm", default="ida", choices=sorted(ALGORITHM_NAMES)
+    )
+    trace.add_argument(
+        "--heuristic",
+        default="h0",
+        choices=sorted(HEURISTIC_NAMES + EXTENSION_HEURISTIC_NAMES),
+    )
+    trace.add_argument("--k", type=float, default=None, help="scaling constant")
+    trace.add_argument(
+        "--budget", type=int, default=1_000_000, help="max states examined"
+    )
+    trace.add_argument(
+        "--output", default=None, metavar="FILE", help="JSONL trace destination"
+    )
+    trace.add_argument(
+        "--inspect",
+        default=None,
+        metavar="FILE",
+        help="skip searching: validate an existing trace and print its profile",
+    )
+
     sub.add_parser("info", help="list available algorithms and heuristics")
     return parser
+
+
+def _open_trace_sink(path: str) -> JsonlSink | int:
+    """Open a JSONL sink, or print a clean error and return exit code 2."""
+    try:
+        return JsonlSink(path)
+    except OSError as err:
+        print(f"error: cannot write trace to {path}: {err}", file=sys.stderr)
+        return 2
 
 
 def cmd_discover(args: argparse.Namespace) -> int:
@@ -105,20 +171,33 @@ def cmd_discover(args: argparse.Namespace) -> int:
     correspondences = [
         _parse_correspondence_arg(text) for text in args.correspondence
     ]
-    result = discover_mapping(
-        source,
-        target,
-        algorithm=args.algorithm,
-        heuristic=args.heuristic,
-        k=args.k,
-        correspondences=correspondences,
-        config=SearchConfig(max_states=args.budget),
-    )
+    tracer = None
+    if args.trace:
+        sink = _open_trace_sink(args.trace)
+        if isinstance(sink, int):
+            return sink
+        tracer = Tracer(sink)
+    try:
+        result = discover_mapping(
+            source,
+            target,
+            algorithm=args.algorithm,
+            heuristic=args.heuristic,
+            k=args.k,
+            correspondences=correspondences,
+            config=SearchConfig(max_states=args.budget),
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(
         f"status: {result.status}  "
         f"(states examined: {result.stats.states_examined}, "
-        f"{result.stats.elapsed_seconds * 1000:.1f} ms)"
+        f"{result.stats.elapsed * 1000:.1f} ms)"
     )
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if not result.found:
         return 1
     print()
@@ -156,11 +235,69 @@ def cmd_tnf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record a JSONL search trace (or inspect an existing one)."""
+    if args.inspect:
+        events = load_trace(args.inspect)
+        print(f"{args.inspect}: {len(events)} event(s), schema v{SCHEMA_VERSION}")
+        print()
+        print(run_profile(events))
+        return 0
+
+    if args.synthetic is not None:
+        if args.synthetic < 1:
+            print("error: --synthetic needs a size >= 1", file=sys.stderr)
+            return 2
+        from .workloads import matching_pair
+
+        pair = matching_pair(args.synthetic)
+        source, target = pair.source, pair.target
+        workload = f"synthetic matching n={args.synthetic}"
+    elif args.source and args.target:
+        source = load_database_dir(args.source)
+        target = load_database_dir(args.target)
+        workload = f"{args.source} -> {args.target}"
+    else:
+        print(
+            "error: trace needs either --synthetic N or --source and --target",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.output:
+        print("error: trace needs --output FILE to record into", file=sys.stderr)
+        return 2
+
+    sink = _open_trace_sink(args.output)
+    if isinstance(sink, int):
+        return sink
+    with Tracer(sink) as tracer:
+        result = discover_mapping(
+            source,
+            target,
+            algorithm=args.algorithm,
+            heuristic=args.heuristic,
+            k=args.k,
+            config=SearchConfig(max_states=args.budget),
+            simplify=False,
+            tracer=tracer,
+        )
+    events = load_trace(args.output)
+    validate_events(events)
+    print(f"traced {workload}: {len(events)} event(s) -> {args.output}")
+    print()
+    print(run_profile(events))
+    return 0 if result.found else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
-    """List available algorithms and heuristics."""
+    """List available algorithms, heuristics, and telemetry capabilities."""
     print("algorithms: " + ", ".join(ALGORITHM_NAMES))
     print("heuristics: " + ", ".join(HEURISTIC_NAMES))
     print("extensions: " + ", ".join(EXTENSION_HEURISTIC_NAMES))
+    print(f"telemetry: structured tracing (schema v{SCHEMA_VERSION}), "
+          "metrics registry (counters/gauges/histograms)")
+    print("sinks: " + ", ".join(SINK_NAMES))
+    print("events: " + ", ".join(EVENT_TYPES))
     return 0
 
 
@@ -168,6 +305,7 @@ _COMMANDS = {
     "discover": cmd_discover,
     "apply": cmd_apply,
     "tnf": cmd_tnf,
+    "trace": cmd_trace,
     "info": cmd_info,
 }
 

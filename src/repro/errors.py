@@ -113,6 +113,24 @@ class CorrespondenceError(SemanticError):
 
 
 # ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(TupeloError):
+    """Base class for errors in the telemetry layer (:mod:`repro.obs`)."""
+
+
+class TraceFormatError(ObservabilityError):
+    """A persisted trace was malformed or stamped an unsupported schema.
+
+    Raised by :func:`repro.obs.load_trace` and the event validators; old
+    traces written under a different :data:`repro.obs.SCHEMA_VERSION` fail
+    loudly with this instead of silently mis-replaying.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Search
 # ---------------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ from .report import (
     log_bucket,
     series_table,
     stats_table,
+    trace_index_table,
 )
 from .runner import (
     ExperimentPoint,
@@ -54,6 +55,7 @@ __all__ = [
     "log_bucket",
     "series_table",
     "stats_table",
+    "trace_index_table",
     "ExperimentPoint",
     "ExperimentSeries",
     "average_states",

@@ -32,6 +32,7 @@ def series_to_dict(series: ExperimentSeries) -> dict:
                 "cache_misses": point.cache_misses,
                 "cache_evictions": point.cache_evictions,
                 "elapsed_seconds": point.elapsed_seconds,
+                "trace_path": point.trace_path,
             }
             for point in series.points
         ],
@@ -52,6 +53,7 @@ def series_from_dict(data: Mapping) -> ExperimentSeries:
                 cache_misses=int(point.get("cache_misses", 0)),
                 cache_evictions=int(point.get("cache_evictions", 0)),
                 elapsed_seconds=float(point.get("elapsed_seconds", 0.0)),
+                trace_path=str(point.get("trace_path", "")),
             )
             for point in data["points"]
         ),

@@ -135,6 +135,32 @@ def stats_table(stats_by_label: Mapping[str, Mapping[str, float | int]]) -> str:
     return ascii_table(headers, rows)
 
 
+def trace_index_table(series_list: Sequence[ExperimentSeries]) -> str:
+    """Tabulate the JSONL traces persisted for a series collection.
+
+    One row per traced point (series run with ``trace_dir=``); inspect any
+    row with ``repro trace --inspect PATH``.  Untraced points are skipped.
+    """
+    headers = ["series", "x", "states", "elapsed (s)", "trace"]
+    rows: list[list[object]] = []
+    for series in series_list:
+        for point in series.points:
+            if not point.trace_path:
+                continue
+            rows.append(
+                [
+                    series.label,
+                    int(point.x) if float(point.x).is_integer() else point.x,
+                    format_states(point.states, point.found),
+                    f"{point.elapsed_seconds:.3f}",
+                    point.trace_path,
+                ]
+            )
+    if not rows:
+        return "(no traces recorded — run the series with trace_dir=...)"
+    return ascii_table(headers, rows)
+
+
 def log_bucket(states: float) -> str:
     """The order-of-magnitude bucket of a measurement (for shape checks)."""
     if states <= 0:

@@ -6,13 +6,23 @@ the benches print and EXPERIMENTS.md records.  States are counted exactly as
 in the paper; tasks that exhaust the state budget are reported at the budget
 value with status ``budget_exceeded`` — the equivalent of the paper's plots
 being cut at 10^6.
+
+Telemetry hooks: every ``run_*`` function accepts ``trace_dir=`` (persist a
+JSONL trace per measured point next to the archived series — each
+:class:`ExperimentPoint` then carries its ``trace_path``) and ``metrics=``
+(one shared :class:`~repro.obs.metrics.MetricsRegistry` accumulating
+counters and distribution histograms across the whole series).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.sinks import JsonlSink
+from ..obs.tracer import Tracer
 from ..search.config import SearchConfig
 from ..search.engine import discover_mapping
 from ..search.result import STATUS_FOUND, SearchResult
@@ -37,6 +47,8 @@ class ExperimentPoint:
         cache_misses: memo-cache misses.
         cache_evictions: memo-cache LRU evictions.
         elapsed_seconds: wall-clock time of the search run.
+        trace_path: path of the JSONL trace persisted for this point
+            (empty when the series ran without ``trace_dir``).
     """
 
     x: float
@@ -47,6 +59,7 @@ class ExperimentPoint:
     cache_misses: int = 0
     cache_evictions: int = 0
     elapsed_seconds: float = 0.0
+    trace_path: str = ""
 
     @property
     def found(self) -> bool:
@@ -65,7 +78,7 @@ class ExperimentSeries:
         return [p.states for p in self.points]
 
 
-def _point(x: float, result: SearchResult) -> ExperimentPoint:
+def _point(x: float, result: SearchResult, trace_path: str = "") -> ExperimentPoint:
     size = len(result.expression) if result.expression is not None else 0
     return ExperimentPoint(
         x=x,
@@ -75,8 +88,26 @@ def _point(x: float, result: SearchResult) -> ExperimentPoint:
         cache_hits=result.stats.cache_hits,
         cache_misses=result.stats.cache_misses,
         cache_evictions=result.stats.cache_evictions,
-        elapsed_seconds=result.stats.elapsed_seconds,
+        elapsed_seconds=result.stats.elapsed,
+        trace_path=trace_path,
     )
+
+
+def _trace_sink(
+    trace_dir: str | Path | None, label: str, x: float
+) -> tuple[Tracer | None, str]:
+    """A JSONL tracer for one measured point (None when tracing is off).
+
+    Trace files land in *trace_dir* as ``<label>_x<value>.jsonl`` with
+    ``/`` flattened to ``-`` so each series label stays one directory.
+    """
+    if trace_dir is None:
+        return None, ""
+    safe = label.replace("/", "-").replace(" ", "_")
+    x_text = f"{x:g}".replace(".", "_")
+    path = Path(trace_dir) / f"{safe}_x{x_text}.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return Tracer(JsonlSink(path)), str(path)
 
 
 def run_matching_series(
@@ -86,33 +117,42 @@ def run_matching_series(
     budget: int = 1_000_000,
     k: float | None = None,
     stop_after_cutoff: bool = True,
+    trace_dir: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ExperimentSeries:
     """Experiment 1 (Figs. 5 & 6): synthetic schema matching.
 
     Measures states examined for matching the ``A1..An -> B1..Bn`` pair at
     each size.  With *stop_after_cutoff* (default), the series stops once a
     size exhausts the budget — larger sizes only get more expensive, which
-    is how the paper's curves end at the 10^6 cut.
+    is how the paper's curves end at the 10^6 cut.  *trace_dir* persists a
+    JSONL trace per point; *metrics* aggregates counters across the series.
     """
     config = SearchConfig(max_states=budget)
+    label = f"{algorithm}/{heuristic}"
     points: list[ExperimentPoint] = []
     for size in sizes:
         pair = matching_pair(size)
-        result = discover_mapping(
-            pair.source,
-            pair.target,
-            algorithm=algorithm,
-            heuristic=heuristic,
-            k=k,
-            config=config,
-            simplify=False,
-        )
-        points.append(_point(size, result))
+        tracer, trace_path = _trace_sink(trace_dir, label, size)
+        try:
+            result = discover_mapping(
+                pair.source,
+                pair.target,
+                algorithm=algorithm,
+                heuristic=heuristic,
+                k=k,
+                config=config,
+                simplify=False,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        points.append(_point(size, result, trace_path))
         if stop_after_cutoff and not result.found:
             break
-    return ExperimentSeries(
-        label=f"{algorithm}/{heuristic}", points=tuple(points)
-    )
+    return ExperimentSeries(label=label, points=tuple(points))
 
 
 def run_bamm_domain(
@@ -122,6 +162,8 @@ def run_bamm_domain(
     budget: int = 100_000,
     k: float | None = None,
     limit: int | None = None,
+    trace_dir: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ExperimentSeries:
     """Experiment 2 (Figs. 7 & 8): one BAMM domain, fixed source -> targets.
 
@@ -131,21 +173,27 @@ def run_bamm_domain(
     """
     config = SearchConfig(max_states=budget)
     tasks = domain.tasks[:limit] if limit is not None else domain.tasks
+    label = f"{algorithm}/{heuristic}/{domain.name}"
     points: list[ExperimentPoint] = []
     for task in tasks:
-        result = discover_mapping(
-            task.source,
-            task.target,
-            algorithm=algorithm,
-            heuristic=heuristic,
-            k=k,
-            config=config,
-            simplify=False,
-        )
-        points.append(_point(task.interface_id, result))
-    return ExperimentSeries(
-        label=f"{algorithm}/{heuristic}/{domain.name}", points=tuple(points)
-    )
+        tracer, trace_path = _trace_sink(trace_dir, label, task.interface_id)
+        try:
+            result = discover_mapping(
+                task.source,
+                task.target,
+                algorithm=algorithm,
+                heuristic=heuristic,
+                k=k,
+                config=config,
+                simplify=False,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        points.append(_point(task.interface_id, result, trace_path))
+    return ExperimentSeries(label=label, points=tuple(points))
 
 
 def average_states(series: ExperimentSeries) -> float:
@@ -180,28 +228,36 @@ def run_semantic_series(
     budget: int = 100_000,
     k: float | None = None,
     stop_after_cutoff: bool = True,
+    trace_dir: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ExperimentSeries:
     """Experiment 3 (Fig. 9): states vs number of complex functions."""
     config = SearchConfig(max_states=budget)
+    label = f"{algorithm}/{heuristic}/{domain.name}"
     points: list[ExperimentPoint] = []
     for n in counts:
         if n > domain.max_functions:
             break
         task = domain.task(n)
-        result = discover_mapping(
-            task.source,
-            task.target,
-            algorithm=algorithm,
-            heuristic=heuristic,
-            k=k,
-            correspondences=task.correspondences,
-            registry=task.registry,
-            config=config,
-            simplify=False,
-        )
-        points.append(_point(n, result))
+        tracer, trace_path = _trace_sink(trace_dir, label, n)
+        try:
+            result = discover_mapping(
+                task.source,
+                task.target,
+                algorithm=algorithm,
+                heuristic=heuristic,
+                k=k,
+                correspondences=task.correspondences,
+                registry=task.registry,
+                config=config,
+                simplify=False,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        points.append(_point(n, result, trace_path))
         if stop_after_cutoff and not result.found:
             break
-    return ExperimentSeries(
-        label=f"{algorithm}/{heuristic}/{domain.name}", points=tuple(points)
-    )
+    return ExperimentSeries(label=label, points=tuple(points))

@@ -27,6 +27,8 @@ from collections import OrderedDict
 from time import perf_counter
 from typing import TYPE_CHECKING
 
+from ..obs.events import CACHE_HIT, CACHE_MISS
+from ..obs.metrics import HEURISTIC_BUCKETS
 from ..relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,6 +84,9 @@ class Heuristic(abc.ABC):
             cache.move_to_end(state)
             if stats is not None:
                 stats.heuristic_cache_hits += 1
+                tracer = stats.tracer
+                if tracer.enabled:
+                    tracer.emit(CACHE_HIT, cache="heuristic")
             return cached
         start = perf_counter()
         value = self.estimate(state)
@@ -93,6 +98,13 @@ class Heuristic(abc.ABC):
         if stats is not None:
             stats.heuristic_cache_misses += 1
             stats.time_in_heuristic += perf_counter() - start
+            tracer = stats.tracer
+            if tracer.enabled:
+                tracer.emit(CACHE_MISS, cache="heuristic", value=value)
+            if stats.metrics is not None:
+                stats.metrics.histogram(
+                    "search.heuristic_value", HEURISTIC_BUCKETS
+                ).observe(value)
         if self.cache_capacity is not None and len(cache) > self.cache_capacity:
             cache.popitem(last=False)
             if stats is not None:

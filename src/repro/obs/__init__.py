@@ -1,0 +1,100 @@
+"""repro.obs — the TUPELO telemetry layer.
+
+Structured tracing (typed events, pluggable sinks), a metrics registry
+(counters / gauges / fixed-bucket histograms), and run-inspection tooling
+(trace replay + ASCII run profiles).  See ``docs/observability.md`` for
+the event taxonomy and usage patterns.
+
+Quick use::
+
+    from repro import discover_mapping
+    from repro.obs import MemorySink, Tracer, run_profile
+
+    sink = MemorySink()
+    result = discover_mapping(src, tgt, algorithm="ida", heuristic="h0",
+                              tracer=Tracer(sink))
+    print(run_profile(sink.events))
+"""
+
+from .events import (
+    BUDGET_EXCEEDED,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_NAMES,
+    ENVELOPE_FIELDS,
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    EXPAND,
+    GENERATE,
+    GOAL_TEST,
+    ITERATION_START,
+    PRUNE,
+    SCHEMA_VERSION,
+    SEARCH_END,
+    SEARCH_START,
+    SOLUTION,
+    TRACE_HEADER,
+    validate_event,
+    validate_events,
+)
+from .metrics import (
+    BRANCHING_BUCKETS,
+    DEPTH_BUCKETS,
+    HEURISTIC_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import replay_counters, run_profile
+from .sinks import (
+    SINK_NAMES,
+    JsonlSink,
+    LoggingSink,
+    MemorySink,
+    NullSink,
+    Sink,
+)
+from .tracer import NULL_TRACER, Tracer, load_trace, memory_tracer, record_jsonl
+
+__all__ = [
+    "BUDGET_EXCEEDED",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_NAMES",
+    "ENVELOPE_FIELDS",
+    "EVENT_FIELDS",
+    "EVENT_TYPES",
+    "EXPAND",
+    "GENERATE",
+    "GOAL_TEST",
+    "ITERATION_START",
+    "PRUNE",
+    "SCHEMA_VERSION",
+    "SEARCH_END",
+    "SEARCH_START",
+    "SOLUTION",
+    "TRACE_HEADER",
+    "validate_event",
+    "validate_events",
+    "BRANCHING_BUCKETS",
+    "DEPTH_BUCKETS",
+    "HEURISTIC_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "replay_counters",
+    "run_profile",
+    "SINK_NAMES",
+    "JsonlSink",
+    "LoggingSink",
+    "MemorySink",
+    "NullSink",
+    "Sink",
+    "NULL_TRACER",
+    "Tracer",
+    "load_trace",
+    "memory_tracer",
+    "record_jsonl",
+]

@@ -1,0 +1,256 @@
+"""Run-inspection tooling: replay a trace into counters and render a profile.
+
+Two consumers of the event stream:
+
+* :func:`replay_counters` — fold the events back into the quantities
+  :class:`~repro.search.stats.SearchStats` counted live.  The contract
+  (locked by ``tests/test_obs_report.py``) is exact equality: states
+  examined/generated, iterations, and per-cache hit/miss counts replayed
+  from a trace match the stats of the very same run.  This is what makes
+  a persisted JSONL trace a faithful record of a run, not a summary.
+
+* :func:`run_profile` — a human-readable profile of one run: the header
+  line, per-phase wall-clock, the iteration table (IDA* thresholds / RBFS
+  backtracks with expansions attributed to each), per-operator-family
+  generation counts, and cache efficiency.
+
+Both accept the event list produced by a
+:class:`~repro.obs.sinks.MemorySink` or read back by
+:func:`~repro.obs.tracer.load_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .events import (
+    BUDGET_EXCEEDED,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_NAMES,
+    EXPAND,
+    GENERATE,
+    GOAL_TEST,
+    ITERATION_START,
+    PRUNE,
+    SEARCH_END,
+    SEARCH_START,
+    SOLUTION,
+)
+
+#: cap on iteration-table rows rendered by run_profile (RBFS backtracks
+#: can number in the thousands; the tail is summarised instead)
+MAX_ITERATION_ROWS = 20
+
+
+def replay_counters(events: Sequence[Mapping]) -> dict[str, int]:
+    """Fold a trace back into the live run's counters.
+
+    Returns a dict with ``states_examined``, ``states_generated``,
+    ``iterations``, ``max_depth``, ``goal_tests``, ``prunes``,
+    ``cache_hits`` / ``cache_misses`` totals, and per-cache
+    ``<name>_cache_hits`` / ``<name>_cache_misses`` splits.
+    """
+    out: dict[str, int] = {
+        "states_examined": 0,
+        "states_generated": 0,
+        "iterations": 0,
+        "max_depth": 0,
+        "goal_tests": 0,
+        "prunes": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+    }
+    for name in CACHE_NAMES:
+        out[f"{name}_cache_hits"] = 0
+        out[f"{name}_cache_misses"] = 0
+    for record in events:
+        event = record.get("event")
+        if event == EXPAND:
+            out["states_examined"] += 1
+            depth = int(record.get("depth", 0))
+            if depth > out["max_depth"]:
+                out["max_depth"] = depth
+        elif event == GENERATE:
+            out["states_generated"] += int(record.get("count", 0))
+        elif event == ITERATION_START:
+            out["iterations"] += 1
+        elif event == GOAL_TEST:
+            out["goal_tests"] += 1
+        elif event == PRUNE:
+            out["prunes"] += 1
+        elif event == CACHE_HIT:
+            out["cache_hits"] += 1
+            key = f"{record.get('cache')}_cache_hits"
+            if key in out:
+                out[key] += 1
+        elif event == CACHE_MISS:
+            out["cache_misses"] += 1
+            key = f"{record.get('cache')}_cache_misses"
+            if key in out:
+                out[key] += 1
+    return out
+
+
+def _first(events: Sequence[Mapping], event_type: str) -> Mapping | None:
+    for record in events:
+        if record.get("event") == event_type:
+            return record
+    return None
+
+
+def _operator_counts(events: Sequence[Mapping]) -> dict[str, int]:
+    """Successors generated per operator family, summed over the run."""
+    totals: dict[str, int] = {}
+    for record in events:
+        if record.get("event") != GENERATE:
+            continue
+        for family, count in (record.get("ops") or {}).items():
+            totals[family] = totals.get(family, 0) + int(count)
+    return totals
+
+
+def _iteration_rows(events: Sequence[Mapping]) -> list[list[object]]:
+    """One row per iteration: (#, bound/limit info, expands, elapsed)."""
+    rows: list[list[object]] = []
+    current: list[object] | None = None
+    expands = 0
+    started = 0.0
+    last_t = 0.0
+
+    def close_row(end_t: float) -> None:
+        if current is not None:
+            current[2] = expands
+            current[3] = f"{(end_t - started) * 1000:.1f}"
+            rows.append(current)
+
+    for record in events:
+        event = record.get("event")
+        last_t = float(record.get("t", last_t))
+        if event == ITERATION_START:
+            close_row(last_t)
+            bound = record.get("bound", record.get("limit", record.get("depth")))
+            label = "-" if bound is None else f"{float(bound):g}"
+            current = [int(record.get("n", len(rows) + 1)), label, 0, ""]
+            expands = 0
+            started = last_t
+        elif event == EXPAND:
+            expands += 1
+    close_row(last_t)
+    return rows
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds * 1000:.1f} ms"
+
+
+def run_profile(events: Sequence[Mapping]) -> str:
+    """Render a multi-section ASCII profile of one traced run."""
+    from ..experiments.report import ascii_table  # local: avoids import cycle
+
+    counters = replay_counters(events)
+    start = _first(events, SEARCH_START) or {}
+    end = _first(events, SEARCH_END) or {}
+    solution = _first(events, SOLUTION)
+    budget = _first(events, BUDGET_EXCEEDED)
+
+    lines: list[str] = []
+    algorithm = start.get("algorithm", "?")
+    heuristic = start.get("heuristic", "?")
+    status = end.get("status", "budget_exceeded" if budget else "?")
+    lines.append(f"run profile: {algorithm}/{heuristic}  status={status}")
+    elapsed = end.get("elapsed_seconds")
+    summary = (
+        f"  states examined {counters['states_examined']}"
+        f"  generated {counters['states_generated']}"
+        f"  iterations {counters['iterations']}"
+        f"  max depth {counters['max_depth']}"
+    )
+    if elapsed is not None:
+        summary += f"  wall {_format_seconds(float(elapsed))}"
+    lines.append(summary)
+    if solution is not None:
+        ops = solution.get("ops") or []
+        lines.append(
+            f"  solution: {solution.get('size', len(ops))} operator(s)"
+            + (f" — {'; '.join(str(op) for op in ops)}" if ops else "")
+        )
+    if budget is not None:
+        lines.append(
+            f"  budget exceeded: {budget.get('examined')} examined "
+            f"(budget {budget.get('budget')})"
+        )
+
+    # -- per-phase wall-clock (from the final stats snapshot) ---------------
+    phase_keys = (
+        ("successor generation", "time_in_successors"),
+        ("heuristic evaluation", "time_in_heuristic"),
+        ("goal tests", "time_in_goal_tests"),
+    )
+    if any(key in end for _label, key in phase_keys):
+        rows = [
+            [label, _format_seconds(float(end.get(key, 0.0)))]
+            for label, key in phase_keys
+        ]
+        lines.append("")
+        lines.append(ascii_table(["phase", "time"], rows, title="per-phase time"))
+
+    # -- iteration table ----------------------------------------------------
+    iteration_rows = _iteration_rows(events)
+    if iteration_rows:
+        shown = iteration_rows[:MAX_ITERATION_ROWS]
+        lines.append("")
+        lines.append(
+            ascii_table(
+                ["iteration", "bound", "expands", "ms"],
+                shown,
+                title="iterations (IDA* thresholds / RBFS re-expansions)",
+            )
+        )
+        hidden = len(iteration_rows) - len(shown)
+        if hidden > 0:
+            tail_expands = sum(int(row[2]) for row in iteration_rows[len(shown):])
+            lines.append(f"... {hidden} more iteration(s), {tail_expands} expands")
+
+    # -- per-operator generation counts -------------------------------------
+    operator_counts = _operator_counts(events)
+    if operator_counts:
+        total = sum(operator_counts.values())
+        rows = [
+            [family, count, f"{count / total:.1%}"]
+            for family, count in sorted(
+                operator_counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        lines.append("")
+        lines.append(
+            ascii_table(
+                ["operator family", "generated", "share"],
+                rows,
+                title="successors generated per operator family",
+            )
+        )
+
+    # -- cache efficiency ----------------------------------------------------
+    cache_rows = []
+    for name in CACHE_NAMES:
+        hits = counters[f"{name}_cache_hits"]
+        misses = counters[f"{name}_cache_misses"]
+        lookups = hits + misses
+        if lookups == 0:
+            continue
+        cache_rows.append([name, hits, misses, f"{hits / lookups:.1%}"])
+    if cache_rows:
+        lines.append("")
+        lines.append(
+            ascii_table(
+                ["cache", "hits", "misses", "hit rate"],
+                cache_rows,
+                title="cache efficiency",
+            )
+        )
+
+    if counters["prunes"]:
+        lines.append("")
+        lines.append(f"pruned candidates: {counters['prunes']}")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Trace sinks — where :class:`~repro.obs.tracer.Tracer` events go.
+
+Each sink consumes flat event records (see :mod:`repro.obs.events`).  The
+class attribute :attr:`Sink.enabled` is the zero-overhead switch: the
+tracer checks it once per *potential* event, so a disabled sink
+(:class:`NullSink`, the default) costs exactly one attribute load and one
+branch per instrumentation site — the invariant
+``tests/test_trace_equivalence.py`` locks down.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import IO, Mapping
+
+#: stdlib logger the LoggingSink bridges to
+TRACE_LOGGER_NAME = "repro.obs.trace"
+
+
+class Sink:
+    """Base sink: receives event records; subclasses decide what to keep."""
+
+    #: consulted (not called) by the tracer before building any record
+    enabled: bool = True
+
+    def write(self, record: Mapping) -> None:
+        """Consume one event record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discard everything — the zero-overhead default.
+
+    ``enabled`` is False, so the tracer never even constructs records;
+    tracing with a NullSink is bit-identical to not tracing at all.
+    """
+
+    enabled = False
+
+    def write(self, record: Mapping) -> None:  # pragma: no cover - never called
+        pass
+
+
+class MemorySink(Sink):
+    """Keep events in an in-process list (tests, interactive inspection)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def write(self, record: Mapping) -> None:
+        self.events.append(dict(record))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(Sink):
+    """Stream events to a file, one JSON object per line.
+
+    The file is opened (and the ``trace_header`` record stamped with
+    :data:`~repro.obs.events.SCHEMA_VERSION`) at construction time, so an
+    unwritable path fails fast with ``OSError`` before any search runs.
+    Lines rely on normal file buffering; :meth:`close` flushes.  Long runs
+    can therefore stream millions of events without holding them in memory.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        from .events import SCHEMA_VERSION, TRACE_HEADER
+
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self.write(
+            {
+                "event": TRACE_HEADER,
+                "seq": 0,
+                "t": 0.0,
+                "schema_version": SCHEMA_VERSION,
+            }
+        )
+
+    def write(self, record: Mapping) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class LoggingSink(Sink):
+    """Bridge events to stdlib :mod:`logging` (one DEBUG/INFO line each).
+
+    Useful when a deployment already ships structured logs: events render
+    as ``event_type key=value ...`` lines under the ``repro.obs.trace``
+    logger, so ordinary log routing/filtering applies.
+    """
+
+    def __init__(
+        self, logger: logging.Logger | None = None, level: int = logging.INFO
+    ) -> None:
+        self.logger = logger if logger is not None else logging.getLogger(
+            TRACE_LOGGER_NAME
+        )
+        self.level = level
+
+    def write(self, record: Mapping) -> None:
+        payload = " ".join(
+            f"{key}={record[key]}" for key in sorted(record) if key != "event"
+        )
+        self.logger.log(self.level, "%s %s", record.get("event"), payload)
+
+
+#: names accepted by the CLI / reported by ``repro info``
+SINK_NAMES: tuple[str, ...] = ("null", "memory", "jsonl", "logging")

@@ -1,0 +1,135 @@
+"""The tracer: typed event emission with pluggable sinks.
+
+One :class:`Tracer` instruments one search run.  Instrumentation sites
+throughout the kernel (:mod:`repro.search`, :mod:`repro.heuristics`) hold
+the tracer via :attr:`repro.search.stats.SearchStats.tracer` and guard
+every emission with the :attr:`Tracer.enabled` flag::
+
+    tracer = stats.tracer
+    if tracer.enabled:
+        tracer.emit(EXPAND, depth=g, n=stats.states_examined)
+
+With the default :class:`~repro.obs.sinks.NullSink` the guard is the whole
+cost — one attribute load and one branch — so an untraced search is
+bit-identical (results, counters, examined-state order) to a traced-with-
+NullSink one; ``tests/test_trace_equivalence.py`` asserts exactly that.
+
+Timestamps are ``time.perf_counter()`` offsets from the moment the tracer
+was constructed: monotonic, sub-microsecond, and immune to wall-clock
+steps (the same clock :class:`~repro.search.stats.SearchStats` uses for
+its phase timers).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+from ..errors import TraceFormatError
+from .events import SCHEMA_VERSION, TRACE_HEADER, validate_events
+from .sinks import JsonlSink, MemorySink, NullSink, Sink
+
+
+class Tracer:
+    """Emit typed trace events into a sink.
+
+    Args:
+        sink: event destination; defaults to a :class:`NullSink`, which
+            makes :attr:`enabled` False and every :meth:`emit` a no-op.
+    """
+
+    __slots__ = ("sink", "enabled", "seq", "_t0")
+
+    def __init__(self, sink: Sink | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = self.sink.enabled
+        self.seq = 0
+        self._t0 = perf_counter()
+
+    def emit(self, event: str, **payload: object) -> None:
+        """Record one event (no-op when the sink is disabled)."""
+        if not self.enabled:
+            return
+        self.seq += 1
+        record: dict = {
+            "event": event,
+            "seq": self.seq,
+            "t": perf_counter() - self._t0,
+        }
+        if payload:
+            record.update(payload)
+        self.sink.write(record)
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer sink={type(self.sink).__name__} "
+            f"enabled={self.enabled} events={self.seq}>"
+        )
+
+
+#: shared do-nothing tracer — the default on every SearchStats, so the
+#: kernel never needs a None check, only the ``enabled`` branch
+NULL_TRACER = Tracer(NullSink())
+
+
+def memory_tracer() -> tuple[Tracer, MemorySink]:
+    """Convenience: a tracer recording into a fresh in-memory sink."""
+    sink = MemorySink()
+    return Tracer(sink), sink
+
+
+def load_trace(path: str | Path, validate: bool = True) -> list[dict]:
+    """Read a JSONL trace back as a list of event records.
+
+    The leading ``trace_header`` record is checked against
+    :data:`~repro.obs.events.SCHEMA_VERSION` and stripped, so callers see
+    only search events.  With *validate* (default) the remaining stream is
+    schema-checked via :func:`~repro.obs.events.validate_events`.
+
+    Raises:
+        TraceFormatError: missing/foreign header, version mismatch,
+            malformed JSON line, or (when validating) a bad record.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: not valid JSON: {err}"
+                ) from err
+    if not records or records[0].get("event") != TRACE_HEADER:
+        raise TraceFormatError(
+            f"{path}: missing trace_header record (not a repro trace?)"
+        )
+    version = records[0].get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"{path}: trace schema version {version!r} unsupported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    events = records[1:]
+    if validate:
+        validate_events(events)
+    return events
+
+
+def record_jsonl(path: str | Path) -> Tracer:
+    """A tracer streaming to *path* (``OSError`` raised here if unwritable)."""
+    return Tracer(JsonlSink(path))

@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..errors import MappingNotFound
 from ..fira.base import Operator
 from ..heuristics.base import Heuristic
+from ..obs.events import PRUNE
 from ..relational.database import Database
 from .problem import MappingProblem
 from .stats import SearchStats
@@ -35,8 +36,9 @@ def make_beam(width: int = DEFAULT_BEAM_WIDTH):
         seen: set[Database] = {root}
         depth = 0
         max_depth = problem.config.max_depth
+        tracer = stats.tracer
         while layer:
-            stats.iteration()
+            stats.iteration(depth=depth, width=len(layer))
             for state, _last, path in layer:
                 stats.examine(len(path), state)
                 if problem.is_goal(state, stats):
@@ -47,11 +49,20 @@ def make_beam(width: int = DEFAULT_BEAM_WIDTH):
             for state, last, path in layer:
                 for op, child in problem.successors(state, last, stats):
                     if child in seen:
+                        if tracer.enabled:
+                            tracer.emit(PRUNE, reason="seen", depth=depth + 1)
                         continue
                     seen.add(child)
                     f = len(path) + 1 + heuristic(child)
                     candidates.append((f, str(op), child, op, path))
             candidates.sort(key=lambda c: (c[0], c[1]))
+            if tracer.enabled and len(candidates) > width:
+                tracer.emit(
+                    PRUNE,
+                    reason="beam_cut",
+                    depth=depth + 1,
+                    dropped=len(candidates) - width,
+                )
             layer = [
                 (child, op, path + [op])
                 for _f, _key, child, op, path in candidates[:width]

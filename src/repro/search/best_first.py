@@ -16,6 +16,7 @@ import itertools
 from ..errors import MappingNotFound
 from ..fira.base import Operator
 from ..heuristics.base import Heuristic
+from ..obs.events import PRUNE
 from ..relational.database import Database
 from .problem import MappingProblem
 from .stats import SearchStats
@@ -39,10 +40,13 @@ def _best_first(
     parent: dict[Database, tuple[Database, Operator] | None] = {root: None}
     closed: set[Database] = set()
     max_depth = problem.config.max_depth
+    tracer = stats.tracer
 
     while frontier:
         _f, _tick, state = heapq.heappop(frontier)
         if state in closed:
+            if tracer.enabled:
+                tracer.emit(PRUNE, reason="closed")
             continue
         closed.add(state)
         g = best_g[state]
@@ -57,6 +61,8 @@ def _best_first(
             child_g = g + 1
             known = best_g.get(child)
             if known is not None and known <= child_g:
+                if tracer.enabled:
+                    tracer.emit(PRUNE, reason="dominated", depth=child_g)
                 continue
             best_g[child] = child_g
             parent[child] = (state, op)

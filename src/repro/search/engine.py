@@ -19,6 +19,9 @@ from ..fira.base import Operator
 from ..fira.expression import MappingExpression
 from ..heuristics.base import Heuristic
 from ..heuristics.registry import make_heuristic
+from ..obs.events import SEARCH_END, SEARCH_START, SOLUTION
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from ..relational.database import Database
 from ..semantics.correspondence import Correspondence
 from ..semantics.functions import FunctionRegistry
@@ -61,6 +64,8 @@ def discover_mapping(
     registry: FunctionRegistry | None = None,
     config: SearchConfig | None = None,
     simplify: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SearchResult:
     """Discover a mapping expression from *source* to *target*.
 
@@ -77,6 +82,13 @@ def discover_mapping(
         config: search configuration (budget, pruning, operator families).
         simplify: post-process the discovered path, deleting operators not
             needed for the goal (does not affect the search statistics).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; the run emits
+            the full event stream (``search_start`` ... ``search_end``)
+            into its sink.  The caller keeps ownership: close the sink
+            after the call if it holds a file.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            distribution histograms fill during the run and the final
+            counters are published into it.
 
     Returns:
         A :class:`SearchResult`; check ``result.found`` / ``result.status``.
@@ -89,11 +101,32 @@ def discover_mapping(
     )
     h = make_heuristic(heuristic, target, k=k, algorithm=algorithm)
     stats = SearchStats(budget=problem.config.max_states)
+    if tracer is not None:
+        stats.tracer = tracer
+    if metrics is not None:
+        stats.metrics = metrics
     h.cache_capacity = problem.config.cache_capacity
     h.bind_stats(stats)
+    run_tracer = stats.tracer
+    if run_tracer.enabled:
+        run_tracer.emit(
+            SEARCH_START,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            budget=problem.config.max_states,
+            source_relations=len(source.relation_names),
+            target_relations=len(target.relation_names),
+            correspondences=len(problem.correspondences),
+        )
     try:
         operators = ALGORITHMS[algorithm](problem, h, stats)
         status = STATUS_FOUND
+        if run_tracer.enabled:
+            run_tracer.emit(
+                SOLUTION,
+                size=len(operators),
+                ops=[str(op) for op in operators],
+            )
         expression: MappingExpression | None = MappingExpression(operators)
         if simplify:
             expression = simplify_expression(
@@ -104,6 +137,8 @@ def discover_mapping(
     except SearchBudgetExceeded:
         status, expression = STATUS_BUDGET_EXCEEDED, None
     stats.stop_clock()
+    if run_tracer.enabled:
+        run_tracer.emit(SEARCH_END, status=status, **stats.as_dict())
     return SearchResult(
         status=status,
         expression=expression,
@@ -132,6 +167,8 @@ class Tupelo:
         registry: FunctionRegistry | None = None,
         config: SearchConfig | None = None,
         simplify: bool = True,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ALGORITHMS:
@@ -142,14 +179,23 @@ class Tupelo:
         self.registry = registry
         self.config = config if config is not None else SearchConfig()
         self.simplify = simplify
+        #: default telemetry hooks applied to every discover() call
+        self.tracer = tracer
+        self.metrics = metrics
 
     def discover(
         self,
         source: Database,
         target: Database,
         correspondences: Sequence[Correspondence] = (),
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> SearchResult:
-        """Discover a mapping expression from *source* to *target*."""
+        """Discover a mapping expression from *source* to *target*.
+
+        *tracer* / *metrics* override the engine-level defaults for this
+        one call (pass them to trace a single discovery out of many).
+        """
         return discover_mapping(
             source,
             target,
@@ -160,6 +206,8 @@ class Tupelo:
             registry=self.registry,
             config=self.config,
             simplify=self.simplify,
+            tracer=tracer if tracer is not None else self.tracer,
+            metrics=metrics if metrics is not None else self.metrics,
         )
 
     def __repr__(self) -> str:

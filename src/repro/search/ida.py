@@ -15,6 +15,7 @@ import math
 from ..errors import MappingNotFound
 from ..fira.base import Operator
 from ..heuristics.base import Heuristic
+from ..obs.events import PRUNE
 from ..relational.database import Database
 from .problem import MappingProblem
 from .stats import SearchStats
@@ -35,6 +36,7 @@ def ida_star(
     path_ops: list[Operator] = []
     on_path: set[Database] = {root}
     max_depth = problem.config.max_depth
+    tracer = stats.tracer
 
     def probe(state: Database, last_op: Operator | None, g: int, bound: float):
         """DFS bounded by f <= bound; returns _FOUND or the next bound."""
@@ -49,6 +51,8 @@ def ida_star(
         minimum: float = math.inf
         for op, child in problem.successors(state, last_op, stats):
             if child in on_path:
+                if tracer.enabled:
+                    tracer.emit(PRUNE, reason="on_path", depth=g + 1)
                 continue
             path_ops.append(op)
             on_path.add(child)
@@ -63,7 +67,7 @@ def ida_star(
 
     bound: float = heuristic(root)
     while True:
-        stats.iteration()
+        stats.iteration(bound=bound)
         outcome = probe(root, None, 0, bound)
         if outcome is _FOUND:
             return list(path_ops)

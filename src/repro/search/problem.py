@@ -54,6 +54,7 @@ from ..fira.renames import RenameAttribute, RenameRelation
 from ..fira.semantic import ApplyFunction
 from ..fira.structure import DropAttribute
 from ..errors import NameCollisionError, OperatorApplicationError, SchemaError
+from ..obs.events import CACHE_HIT, CACHE_MISS, GENERATE, GOAL_TEST
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..semantics.correspondence import Correspondence
@@ -164,20 +165,30 @@ class MappingProblem:
         spent and hit/miss counts are recorded on *stats* when given.
         """
         start = perf_counter()
+        tracer = stats.tracer if stats is not None else None
         try:
             if not self.config.cache_successors:
-                return state.contains(self.target)
+                verdict = state.contains(self.target)
+                if tracer is not None and tracer.enabled:
+                    tracer.emit(GOAL_TEST, verdict=verdict)
+                return verdict
             cache = self._goal_cache
             verdict = cache.get(state)
             if verdict is not None or state in cache:
                 cache.move_to_end(state)
                 if stats is not None:
                     stats.goal_cache_hits += 1
+                if tracer is not None and tracer.enabled:
+                    tracer.emit(CACHE_HIT, cache="goal")
+                    tracer.emit(GOAL_TEST, verdict=bool(verdict), cached=True)
                 return bool(verdict)
             verdict = state.contains(self.target)
             cache[state] = verdict
             if stats is not None:
                 stats.goal_cache_misses += 1
+            if tracer is not None and tracer.enabled:
+                tracer.emit(CACHE_MISS, cache="goal")
+                tracer.emit(GOAL_TEST, verdict=verdict, cached=False)
             capacity = self.config.cache_capacity
             if capacity is not None and len(cache) > capacity:
                 cache.popitem(last=False)
@@ -207,11 +218,14 @@ class MappingProblem:
         identical with the table on or off.
         """
         start = perf_counter()
+        tracer = stats.tracer if stats is not None else None
         try:
             if not self.config.cache_successors:
                 out = self._compute_successors(state, last_op)
                 if stats is not None:
                     stats.generated(len(out))
+                if tracer is not None and tracer.enabled:
+                    self._emit_generate(tracer, out, cached=False)
                 return out
             key = (state, self._symmetry_key(last_op))
             cache = self._successor_cache
@@ -221,12 +235,18 @@ class MappingProblem:
                 if stats is not None:
                     stats.successor_cache_hits += 1
                     stats.generated(len(hit))
+                if tracer is not None and tracer.enabled:
+                    tracer.emit(CACHE_HIT, cache="successor")
+                    self._emit_generate(tracer, hit, cached=True)
                 return list(hit)
             out = self._compute_successors(state, last_op)
             cache[key] = out
             if stats is not None:
                 stats.successor_cache_misses += 1
                 stats.generated(len(out))
+            if tracer is not None and tracer.enabled:
+                tracer.emit(CACHE_MISS, cache="successor")
+                self._emit_generate(tracer, out, cached=False)
             capacity = self.config.cache_capacity
             if capacity is not None and len(cache) > capacity:
                 cache.popitem(last=False)
@@ -236,6 +256,16 @@ class MappingProblem:
         finally:
             if stats is not None:
                 stats.time_in_successors += perf_counter() - start
+
+    @staticmethod
+    def _emit_generate(
+        tracer, successors: Sequence[tuple[Operator, Database]], cached: bool
+    ) -> None:
+        """Emit one ``generate`` event with per-operator-family counts."""
+        ops: dict[str, int] = {}
+        for op, _child in successors:
+            ops[op.keyword] = ops.get(op.keyword, 0) + 1
+        tracer.emit(GENERATE, count=len(successors), cached=cached, ops=ops)
 
     def _symmetry_key(self, last_op: Operator | None) -> object:
         """The part of *last_op* the proposal rules actually consult.

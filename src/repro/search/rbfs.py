@@ -14,6 +14,7 @@ import math
 from ..errors import MappingNotFound
 from ..fira.base import Operator
 from ..heuristics.base import Heuristic
+from ..obs.events import PRUNE
 from ..relational.database import Database
 from .problem import MappingProblem
 from .stats import SearchStats
@@ -36,6 +37,7 @@ def rbfs(
     path_ops: list[Operator] = []
     on_path: set[Database] = {root}
     max_depth = problem.config.max_depth
+    tracer = stats.tracer
 
     def visit(
         state: Database,
@@ -56,6 +58,8 @@ def rbfs(
         entries: list[list] = []  # [f, op, child] — mutable f for back-up
         for op, child in problem.successors(state, last_op, stats):
             if child in on_path:
+                if tracer.enabled:
+                    tracer.emit(PRUNE, reason="on_path", depth=g + 1)
                 continue
             f_child = max(g + 1 + heuristic(child), f_stored)
             entries.append([f_child, str(op), op, child])
@@ -69,13 +73,18 @@ def rbfs(
                 # loop would re-expand dead subtrees forever when f_limit=inf
                 return best[0]
             alternative = entries[1][0] if len(entries) > 1 else math.inf
-            stats.iteration()
+            child_limit = min(f_limit, alternative)
+            stats.iteration(
+                f=best[0],
+                limit=child_limit if math.isfinite(child_limit) else None,
+                depth=g + 1,
+            )
             op, child = best[2], best[3]
             path_ops.append(op)
             on_path.add(child)
             # On _Found the exception propagates and the path is preserved;
             # on a normal return the child is unwound from the path.
-            best[0] = visit(child, op, g + 1, best[0], min(f_limit, alternative))
+            best[0] = visit(child, op, g + 1, best[0], child_limit)
             path_ops.pop()
             on_path.remove(child)
 

@@ -10,6 +10,21 @@ estimate cache — see :mod:`repro.search.problem` and
 :mod:`repro.heuristics.base`) reports through here as well: hit / miss /
 eviction counters per cache, and per-phase wall-clock (successor generation,
 heuristic evaluation, goal tests) so benches can attribute time saved.
+
+``SearchStats`` is also the kernel's hand-hold on the telemetry layer
+(:mod:`repro.obs`): it carries the run's :class:`~repro.obs.tracer.Tracer`
+(``expand`` / ``iteration_start`` / ``budget_exceeded`` events are emitted
+from the counting methods themselves, so every algorithm is traced without
+per-algorithm plumbing) and, when a
+:class:`~repro.obs.metrics.MetricsRegistry` is attached, feeds the depth /
+branching-factor histograms live and publishes the full counter snapshot
+when the clock stops.  Both hooks are disabled-by-default and guarded so an
+untraced run pays one branch per instrumentation site.
+
+All wall-clock quantities here use ``time.perf_counter()`` — monotonic and
+high-resolution; never ``time.time()``, whose wall-clock steps would skew
+phase attribution.  :attr:`SearchStats.elapsed` is the single elapsed-time
+reading benches and reports should use.
 """
 
 from __future__ import annotations
@@ -19,8 +34,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import SearchBudgetExceeded
+from ..obs.events import BUDGET_EXCEEDED, EXPAND, ITERATION_START
+from ..obs.metrics import BRANCHING_BUCKETS, DEPTH_BUCKETS
+from ..obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
     from ..relational.database import Database
 
 
@@ -59,6 +78,13 @@ class SearchStats:
             :attr:`examined_states` — the equivalence suite uses this to
             assert cached and uncached searches examine identical state
             sequences.
+        tracer: the run's event tracer (shared no-op :data:`NULL_TRACER`
+            by default).  Instrumentation sites read it from here, so
+            attaching a real tracer to the stats object traces the whole
+            run.
+        metrics: optional metrics registry; when set, depth and branching
+            histograms are observed live and :meth:`stop_clock` publishes
+            the final counter snapshot into it.
     """
 
     budget: int = 1_000_000
@@ -82,6 +108,9 @@ class SearchStats:
     examined_states: "list[Database]" = field(default_factory=list)
     started_at: float = field(default_factory=time.perf_counter)
     elapsed_seconds: float = 0.0
+    clock_stopped: bool = False
+    tracer: Tracer = NULL_TRACER
+    metrics: "MetricsRegistry | None" = None
 
     def examine(self, depth: int = 0, state: "Database | None" = None) -> None:
         """Record one state examination; raise if the budget is exhausted."""
@@ -90,20 +119,58 @@ class SearchStats:
             self.max_depth = depth
         if self.trace and state is not None:
             self.examined_states.append(state)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(EXPAND, depth=depth, n=self.states_examined)
+        if self.metrics is not None:
+            self.metrics.histogram("search.depth", DEPTH_BUCKETS).observe(depth)
         if self.states_examined > self.budget:
+            if tracer.enabled:
+                tracer.emit(
+                    BUDGET_EXCEEDED,
+                    budget=self.budget,
+                    examined=self.states_examined,
+                )
             raise SearchBudgetExceeded(self.budget, self.states_examined)
 
     def generated(self, count: int = 1) -> None:
         """Record successor generation."""
         self.states_generated += count
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "search.branching_factor", BRANCHING_BUCKETS
+            ).observe(count)
 
-    def iteration(self) -> None:
-        """Record one IDA* deepening iteration / RBFS re-expansion."""
+    def iteration(self, **info: object) -> None:
+        """Record one IDA* deepening iteration / RBFS re-expansion.
+
+        Keyword arguments become the ``iteration_start`` event payload
+        (e.g. ``bound=`` for IDA* thresholds, ``limit=`` for RBFS f-limits,
+        ``depth=`` for beam layers).
+        """
         self.iterations += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(ITERATION_START, n=self.iterations, **info)
 
     def stop_clock(self) -> None:
-        """Freeze :attr:`elapsed_seconds`."""
+        """Freeze :attr:`elapsed_seconds` and publish attached metrics."""
         self.elapsed_seconds = time.perf_counter() - self.started_at
+        self.clock_stopped = True
+        if self.metrics is not None:
+            self.metrics.publish_stats(self.as_dict())
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds of the run (live until :meth:`stop_clock`).
+
+        The one elapsed-time reading benches and reports should consult:
+        after :meth:`stop_clock` it is the frozen run duration; before, a
+        live monotonic reading from the same ``perf_counter`` clock.
+        """
+        if self.clock_stopped:
+            return self.elapsed_seconds
+        return time.perf_counter() - self.started_at
 
     # -- cache aggregates ------------------------------------------------------
 

@@ -133,6 +133,135 @@ class TestDiscover:
         assert "CREATE TABLE" in capsys.readouterr().out
 
 
+class TestDiscoverTrace:
+    def test_discover_records_trace(self, dirs, capsys):
+        source, target, tmp = dirs
+        trace_file = tmp / "run.jsonl"
+        code = main(
+            [
+                "discover",
+                "--source",
+                str(source),
+                "--target",
+                str(target),
+                "--heuristic",
+                "euclid_norm",
+                "--trace",
+                str(trace_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace written to {trace_file}" in out
+        from repro.obs import load_trace, replay_counters
+
+        events = load_trace(trace_file)  # schema-validates on load
+        assert events[0]["event"] == "search_start"
+        assert events[-1]["event"] == "search_end"
+        assert replay_counters(events)["states_examined"] > 0
+
+    def test_discover_unwritable_trace_path_exits_cleanly(self, dirs, capsys):
+        source, target, tmp = dirs
+        bad = tmp / "no_such_dir" / "run.jsonl"
+        code = main(
+            [
+                "discover",
+                "--source",
+                str(source),
+                "--target",
+                str(target),
+                "--trace",
+                str(bad),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot write trace to" in captured.err
+
+
+class TestTrace:
+    def test_synthetic_record_and_profile(self, tmp_path, capsys):
+        trace_file = tmp_path / "fig5.jsonl"
+        code = main(
+            [
+                "trace",
+                "--synthetic",
+                "3",
+                "--algorithm",
+                "ida",
+                "--heuristic",
+                "h0",
+                "--output",
+                str(trace_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert trace_file.exists()
+        assert "traced synthetic matching n=3" in out
+        assert "run profile: ida/h0" in out
+        assert "cache efficiency" in out
+
+    def test_inspect_existing_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "fig5.jsonl"
+        assert (
+            main(
+                ["trace", "--synthetic", "3", "--output", str(trace_file)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["trace", "--inspect", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "schema v1" in out
+        assert "run profile: ida/h0" in out
+
+    def test_inspect_rejects_foreign_file(self, tmp_path, capsys):
+        not_a_trace = tmp_path / "junk.jsonl"
+        not_a_trace.write_text('{"hello": "world"}\n')
+        code = main(["trace", "--inspect", str(not_a_trace)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_csv_instances_work_too(self, dirs, tmp_path, capsys):
+        source, target, _tmp = dirs
+        trace_file = tmp_path / "csv.jsonl"
+        code = main(
+            [
+                "trace",
+                "--source",
+                str(source),
+                "--target",
+                str(target),
+                "--algorithm",
+                "rbfs",
+                "--heuristic",
+                "euclid_norm",
+                "--output",
+                str(trace_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run profile: rbfs/euclid_norm" in out
+
+    def test_requires_workload(self, capsys):
+        code = main(["trace", "--output", "x.jsonl"])
+        assert code == 2
+        assert "--synthetic" in capsys.readouterr().err
+
+    def test_requires_output(self, capsys):
+        code = main(["trace", "--synthetic", "3"])
+        assert code == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_rejects_bad_synthetic_size(self, capsys):
+        code = main(["trace", "--synthetic", "0", "--output", "x.jsonl"])
+        assert code == 2
+        assert "size >= 1" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_apply_prints_by_default(self, dirs, capsys, tmp_path):
         source, _target, tmp = dirs
@@ -154,6 +283,13 @@ class TestOtherCommands:
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "rbfs" in out and "cosine" in out and "hybrid" in out
+
+    def test_info_reports_telemetry(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: structured tracing (schema v1)" in out
+        assert "sinks: null, memory, jsonl, logging" in out
+        assert "expand" in out and "search_end" in out
 
     def test_error_reported_cleanly(self, dirs, capsys, tmp_path):
         source, _target, tmp = dirs

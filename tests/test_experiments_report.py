@@ -14,6 +14,7 @@ from repro.experiments import (
     log_bucket,
     series_table,
     total_states,
+    trace_index_table,
 )
 
 
@@ -70,6 +71,29 @@ class TestAveragesTable:
         assert "Books" in lines[0] and "Music" in lines[0]
         assert "100.0" in table
         assert "-" in table  # h1/Music missing
+
+
+class TestTraceIndexTable:
+    def test_lists_traced_points_only(self):
+        series = ExperimentSeries(
+            "ida/h1",
+            (
+                ExperimentPoint(
+                    2, 3, "found",
+                    elapsed_seconds=0.5,
+                    trace_path="traces/ida-h1_x2.jsonl",
+                ),
+                ExperimentPoint(4, 5, "found"),
+            ),
+        )
+        table = trace_index_table([series])
+        assert "traces/ida-h1_x2.jsonl" in table
+        assert "0.500" in table
+        assert "_x4" not in table
+
+    def test_empty_hint(self):
+        series = ExperimentSeries("ida/h1", (ExperimentPoint(2, 3, "found"),))
+        assert "trace_dir" in trace_index_table([series])
 
 
 class TestCalibration:

@@ -72,6 +72,41 @@ class TestBammSeries:
         assert average_states(ExperimentSeries("x", ())) == 0.0
 
 
+class TestTelemetryHooks:
+    def test_trace_dir_persists_one_trace_per_point(self, tmp_path):
+        from repro.obs import load_trace, replay_counters
+
+        series = run_matching_series(
+            "ida", "h1", sizes=(2, 3), trace_dir=tmp_path / "traces"
+        )
+        for point in series.points:
+            assert point.trace_path
+            events = load_trace(point.trace_path)  # schema-validates
+            assert replay_counters(events)["states_examined"] == point.states
+
+    def test_trace_filenames_are_filesystem_safe(self, tmp_path):
+        series = run_matching_series(
+            "ida", "h1", sizes=(2,), trace_dir=tmp_path
+        )
+        name = series.points[0].trace_path
+        assert "/" not in name.rsplit("/", 1)[-1]
+        assert name.endswith("_x2.jsonl")
+
+    def test_without_trace_dir_no_paths(self):
+        series = run_matching_series("ida", "h1", sizes=(2,))
+        assert all(p.trace_path == "" for p in series.points)
+
+    def test_metrics_accumulate_across_series(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        series = run_matching_series(
+            "ida", "h1", sizes=(2, 3), metrics=registry
+        )
+        total = sum(p.states for p in series.points)
+        assert registry.counter("search.states_examined").value == total
+
+
 class TestSemanticSeries:
     def test_h1_series(self):
         series = run_semantic_series(

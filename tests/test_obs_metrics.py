@@ -1,0 +1,154 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEPTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_set_to_jumps_forward(self):
+        c = Counter("x")
+        c.set_to(10)
+        assert c.value == 10
+
+    def test_set_to_rejects_decrease(self):
+        c = Counter("x")
+        c.set_to(10)
+        with pytest.raises(ValueError):
+            c.set_to(9)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("t")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_observations_land_in_le_buckets(self):
+        h = Histogram("d", (1, 2, 4))
+        for value in (0, 1, 2, 3, 100):
+            h.observe(value)
+        # cumulative-style cells: le_1, le_2, le_4, le_inf
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.mean == pytest.approx(106 / 5)
+
+    def test_as_dict(self):
+        h = Histogram("d", (1, 2))
+        h.observe(1)
+        data = h.as_dict()
+        assert data["total"] == 1
+        assert data["buckets"] == {"le_1": 1, "le_2": 0, "le_inf": 0}
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("d", (1,)).mean == 0.0
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("d", ())
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("d", (1, 1, 2))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h", DEPTH_BUCKETS) is registry.histogram(
+            "h", DEPTH_BUCKETS
+        )
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="Counter"):
+            registry.gauge("a")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("h", (1, 2, 3))
+
+    def test_names_contains_len(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "c" not in registry
+        assert len(registry) == 2
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (1,)).observe(0)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == 3
+        assert snapshot["g"] == 1.5
+        assert snapshot["h"]["total"] == 1
+
+    def test_publish_stats_splits_ints_and_floats(self):
+        registry = MetricsRegistry()
+        registry.publish_stats({"states_examined": 7, "elapsed_seconds": 0.25})
+        assert registry.counter("search.states_examined").value == 7
+        assert registry.gauge("search.elapsed_seconds").value == 0.25
+
+    def test_publish_stats_accumulates_across_runs(self):
+        registry = MetricsRegistry()
+        registry.publish_stats({"states_examined": 7, "elapsed_seconds": 0.25})
+        registry.publish_stats({"states_examined": 3, "elapsed_seconds": 0.75})
+        assert registry.counter("search.states_examined").value == 10
+        assert registry.gauge("search.elapsed_seconds").value == 1.0
+
+
+class TestSearchIntegration:
+    def test_registry_fed_by_real_run(self):
+        from repro import discover_mapping
+        from repro.workloads import matching_pair
+
+        pair = matching_pair(3)
+        registry = MetricsRegistry()
+        result = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm="ida",
+            heuristic="h0",
+            metrics=registry,
+            simplify=False,
+        )
+        assert result.found
+        # published snapshot matches the live stats exactly
+        assert (
+            registry.counter("search.states_examined").value
+            == result.stats.states_examined
+        )
+        # live histograms observed once per examination / generation event
+        depth = registry.histogram("search.depth", DEPTH_BUCKETS)
+        assert depth.total == result.stats.states_examined
+        assert registry.gauge("search.elapsed_seconds").value == pytest.approx(
+            result.stats.elapsed_seconds
+        )

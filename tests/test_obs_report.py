@@ -1,0 +1,136 @@
+"""Tests for trace replay and run-profile rendering (repro.obs.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import discover_mapping
+from repro.obs import (
+    EXPAND,
+    GENERATE,
+    ITERATION_START,
+    MemorySink,
+    Tracer,
+    replay_counters,
+    run_profile,
+)
+from repro.workloads import matching_pair
+
+
+def traced_run(algorithm="ida", heuristic="h0", size=3):
+    pair = matching_pair(size)
+    sink = MemorySink()
+    result = discover_mapping(
+        pair.source,
+        pair.target,
+        algorithm=algorithm,
+        heuristic=heuristic,
+        tracer=Tracer(sink),
+        simplify=False,
+    )
+    return result, sink.events
+
+
+class TestReplayContract:
+    """Folding a trace back must reproduce the live counters exactly."""
+
+    @pytest.mark.parametrize(
+        "algorithm,heuristic",
+        [("ida", "h0"), ("rbfs", "h1"), ("astar", "h1"), ("beam", "h1")],
+    )
+    def test_replay_matches_live_stats(self, algorithm, heuristic):
+        size = 3 if heuristic == "h0" else 4
+        result, events = traced_run(algorithm, heuristic, size)
+        stats = result.stats
+        replayed = replay_counters(events)
+        assert replayed["states_examined"] == stats.states_examined
+        assert replayed["states_generated"] == stats.states_generated
+        assert replayed["iterations"] == stats.iterations
+        assert replayed["max_depth"] == stats.max_depth
+        assert replayed["cache_hits"] == stats.cache_hits
+        assert replayed["cache_misses"] == stats.cache_misses
+        for cache in ("successor", "goal", "heuristic"):
+            assert replayed[f"{cache}_cache_hits"] == getattr(
+                stats, f"{cache}_cache_hits"
+            )
+            assert replayed[f"{cache}_cache_misses"] == getattr(
+                stats, f"{cache}_cache_misses"
+            )
+
+    def test_replay_of_empty_trace_is_all_zero(self):
+        replayed = replay_counters([])
+        assert replayed["states_examined"] == 0
+        assert replayed["cache_hits"] == 0
+
+
+class TestReplayFolding:
+    def test_counts_by_event_type(self):
+        events = [
+            {"event": ITERATION_START, "seq": 1, "t": 0.0, "n": 1, "bound": 0},
+            {"event": EXPAND, "seq": 2, "t": 0.1, "depth": 2, "n": 1},
+            {"event": GENERATE, "seq": 3, "t": 0.2, "count": 5},
+            {"event": EXPAND, "seq": 4, "t": 0.3, "depth": 1, "n": 2},
+        ]
+        replayed = replay_counters(events)
+        assert replayed["states_examined"] == 2
+        assert replayed["states_generated"] == 5
+        assert replayed["iterations"] == 1
+        assert replayed["max_depth"] == 2
+
+
+class TestRunProfile:
+    def test_profile_sections_for_real_run(self):
+        result, events = traced_run("ida", "h0", 3)
+        profile = run_profile(events)
+        assert "run profile: ida/h0" in profile
+        assert "status=found" in profile
+        assert f"states examined {result.stats.states_examined}" in profile
+        assert "per-phase time" in profile
+        assert "iterations (IDA* thresholds" in profile
+        assert "successors generated per operator family" in profile
+        assert "cache efficiency" in profile
+        assert "solution:" in profile
+
+    def test_profile_shows_budget_exhaustion(self):
+        pair = matching_pair(4)
+        from repro.search import SearchConfig
+
+        sink = MemorySink()
+        result = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm="ida",
+            heuristic="h0",
+            config=SearchConfig(max_states=50),
+            tracer=Tracer(sink),
+            simplify=False,
+        )
+        assert result.status == "budget_exceeded"
+        profile = run_profile(sink.events)
+        assert "status=budget_exceeded" in profile
+        assert "budget exceeded: 51 examined (budget 50)" in profile
+
+    def test_profile_of_empty_trace_degrades_gracefully(self):
+        profile = run_profile([])
+        assert "run profile" in profile
+
+    def test_long_iteration_tail_is_summarised(self):
+        events = []
+        seq = 0
+        for n in range(1, 32):
+            seq += 1
+            events.append(
+                {
+                    "event": ITERATION_START,
+                    "seq": seq,
+                    "t": seq / 10,
+                    "n": n,
+                    "bound": n,
+                }
+            )
+            seq += 1
+            events.append(
+                {"event": EXPAND, "seq": seq, "t": seq / 10, "depth": 1, "n": seq}
+            )
+        profile = run_profile(events)
+        assert "more iteration(s)" in profile

@@ -1,0 +1,178 @@
+"""Tests for the tracing core (repro.obs: events, sinks, tracer)."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.errors import ObservabilityError, TraceFormatError, TupeloError
+from repro.obs import (
+    EXPAND,
+    SCHEMA_VERSION,
+    SEARCH_START,
+    TRACE_HEADER,
+    JsonlSink,
+    LoggingSink,
+    MemorySink,
+    NullSink,
+    Tracer,
+    load_trace,
+    memory_tracer,
+    record_jsonl,
+    validate_event,
+    validate_events,
+)
+from repro.obs.tracer import NULL_TRACER
+
+
+class TestTracer:
+    def test_emit_builds_envelope(self):
+        tracer, sink = memory_tracer()
+        tracer.emit(EXPAND, depth=2, n=1)
+        tracer.emit(EXPAND, depth=3, n=2)
+        assert len(sink) == 2
+        first, second = sink.events
+        assert first["event"] == EXPAND
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert 0.0 <= first["t"] <= second["t"]
+        assert first["depth"] == 2 and first["n"] == 1
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = Tracer(NullSink())
+        assert not tracer.enabled
+        tracer.emit(EXPAND, depth=1, n=1)
+        assert tracer.seq == 0
+
+    def test_default_sink_is_null(self):
+        assert not Tracer().enabled
+        assert not NULL_TRACER.enabled
+
+    def test_context_manager_closes_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit(EXPAND, depth=0, n=1)
+        # sink is closed: further writes must fail
+        with pytest.raises(ValueError):
+            tracer.sink.write({"event": EXPAND})
+
+
+class TestSinks:
+    def test_memory_sink_copies_records(self):
+        sink = MemorySink()
+        record = {"event": EXPAND, "seq": 1, "t": 0.0}
+        sink.write(record)
+        record["seq"] = 99
+        assert sink.events[0]["seq"] == 1
+
+    def test_jsonl_sink_stamps_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        JsonlSink(path).close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["event"] == TRACE_HEADER
+        assert header["schema_version"] == SCHEMA_VERSION
+
+    def test_jsonl_sink_unwritable_path_fails_fast(self, tmp_path):
+        with pytest.raises(OSError):
+            JsonlSink(tmp_path / "missing_dir" / "t.jsonl")
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_logging_sink_bridges_to_stdlib(self, caplog):
+        sink = LoggingSink(level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="repro.obs.trace"):
+            sink.write({"event": EXPAND, "seq": 1, "t": 0.0, "depth": 4})
+        assert len(caplog.records) == 1
+        assert EXPAND in caplog.text
+        assert "depth=4" in caplog.text
+
+
+class TestJsonlRoundTrip:
+    def record(self, path):
+        with record_jsonl(path) as tracer:
+            tracer.emit(
+                SEARCH_START, algorithm="ida", heuristic="h0", budget=10
+            )
+            tracer.emit(EXPAND, depth=0, n=1)
+        return tracer
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.record(path)
+        events = load_trace(path)
+        # header stripped; events intact and ordered
+        assert [e["event"] for e in events] == [SEARCH_START, EXPAND]
+        assert events[0]["algorithm"] == "ida"
+        assert events[0]["seq"] == 1
+
+    def test_wrong_schema_version_fails_loudly(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        header = {"event": TRACE_HEADER, "seq": 0, "t": 0.0, "schema_version": 0}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_missing_header_fails(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text(json.dumps({"event": EXPAND, "seq": 1, "t": 0.0}) + "\n")
+        with pytest.raises(TraceFormatError, match="trace_header"):
+            load_trace(path)
+
+    def test_malformed_json_line_fails(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.record(path)
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            load_trace(path)
+
+    def test_trace_errors_are_tupelo_errors(self):
+        # CLI-level `except TupeloError` must catch trace problems too
+        assert issubclass(TraceFormatError, ObservabilityError)
+        assert issubclass(ObservabilityError, TupeloError)
+
+
+class TestValidation:
+    def good(self):
+        return {"event": EXPAND, "seq": 1, "t": 0.0, "depth": 0, "n": 1}
+
+    def test_valid_record_passes(self):
+        validate_event(self.good())
+
+    def test_missing_envelope_field_rejected(self):
+        record = self.good()
+        del record["seq"]
+        with pytest.raises(TraceFormatError, match="seq"):
+            validate_event(record)
+
+    def test_unknown_event_type_rejected(self):
+        record = self.good()
+        record["event"] = "teleport"
+        with pytest.raises(TraceFormatError, match="teleport"):
+            validate_event(record)
+
+    def test_missing_payload_field_rejected(self):
+        record = self.good()
+        del record["depth"]
+        with pytest.raises(TraceFormatError, match="depth"):
+            validate_event(record)
+
+    def test_stream_requires_increasing_seq(self):
+        a = self.good()
+        b = self.good()  # same seq -> not strictly increasing
+        with pytest.raises(TraceFormatError, match="seq"):
+            validate_events([a, b])
+
+    def test_stream_requires_monotone_time(self):
+        a = self.good()
+        b = dict(self.good(), seq=2, t=-1.0)
+        with pytest.raises(TraceFormatError, match="backwards"):
+            validate_events([a, b])
+
+    def test_stream_returns_count(self):
+        a = self.good()
+        b = dict(self.good(), seq=2, t=0.5)
+        assert validate_events([a, b]) == 2

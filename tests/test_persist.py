@@ -37,6 +37,23 @@ class TestDictRoundtrip:
         restored = series_from_dict(data)
         assert all(p.expression_size == 0 for p in restored.points)
 
+    def test_trace_path_roundtrip(self):
+        series = ExperimentSeries(
+            "ida/h0",
+            (ExperimentPoint(2, 3, "found", trace_path="traces/run_x2.jsonl"),),
+        )
+        restored = series_from_dict(series_to_dict(series))
+        assert restored.points[0].trace_path == "traces/run_x2.jsonl"
+        assert restored == series
+
+    def test_missing_trace_path_defaults(self):
+        # archives written before the telemetry layer carry no trace_path
+        data = series_to_dict(sample_series())
+        for point in data["points"]:
+            point.pop("trace_path")
+        restored = series_from_dict(data)
+        assert all(p.trace_path == "" for p in restored.points)
+
 
 class TestFileRoundtrip:
     def test_save_and_load(self, tmp_path):

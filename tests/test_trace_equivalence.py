@@ -1,0 +1,93 @@
+"""Telemetry is semantically invisible: traced == untraced, bit for bit.
+
+The zero-overhead contract of `repro.obs` has a stronger sibling: tracing
+must never change what the search *does*.  Every algorithm x heuristic
+combination must return the identical result — same status, same operator
+sequence, same counters, same states examined *in the same order* —
+whether the run is untraced (the shared NULL_TRACER default), traced into
+a NullSink, or traced into a real MemorySink.  Telemetry may only observe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingNotFound, SearchBudgetExceeded
+from repro.heuristics import HEURISTIC_NAMES, make_heuristic
+from repro.obs import MemorySink, NullSink, Tracer
+from repro.search import ALGORITHMS, MappingProblem, SearchConfig, SearchStats
+from repro.workloads import matching_pair
+
+#: blind-ish heuristics explode combinatorially — keep their workload tiny
+BLIND = ("h0", "h2")
+BUDGET = 100_000
+
+
+def run_search(algorithm: str, heuristic: str, size: int, tracer=None):
+    """One raw algorithm invocation, returning (status, ops, stats)."""
+    pair = matching_pair(size)
+    config = SearchConfig(max_states=BUDGET)
+    problem = MappingProblem(pair.source, pair.target, config=config)
+    h = make_heuristic(heuristic, pair.target, algorithm=algorithm)
+    stats = SearchStats(budget=BUDGET, trace=True)
+    if tracer is not None:
+        stats.tracer = tracer
+    h.cache_capacity = config.cache_capacity
+    h.bind_stats(stats)
+    try:
+        ops = ALGORITHMS[algorithm](problem, h, stats)
+        status = "found"
+    except MappingNotFound:
+        ops, status = None, "not_found"
+    except SearchBudgetExceeded:
+        ops, status = None, "budget_exceeded"
+    return status, ops, stats
+
+
+def assert_identical(base, other):
+    status_a, ops_a, stats_a = base
+    status_b, ops_b, stats_b = other
+    assert status_a == status_b
+    assert [str(op) for op in (ops_a or [])] == [str(op) for op in (ops_b or [])]
+    assert stats_a.states_examined == stats_b.states_examined
+    assert stats_a.states_generated == stats_b.states_generated
+    assert stats_a.iterations == stats_b.iterations
+    assert stats_a.max_depth == stats_b.max_depth
+    assert stats_a.cache_hits == stats_b.cache_hits
+    assert stats_a.cache_misses == stats_b.cache_misses
+    # not just the same counts — the same states in the same order
+    assert stats_a.examined_states == stats_b.examined_states
+
+
+@pytest.mark.parametrize("heuristic", HEURISTIC_NAMES)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_nullsink_trace_is_bit_identical(algorithm, heuristic):
+    size = 3 if heuristic in BLIND else 5
+    untraced = run_search(algorithm, heuristic, size, tracer=None)
+    nullsunk = run_search(
+        algorithm, heuristic, size, tracer=Tracer(NullSink())
+    )
+    assert_identical(untraced, nullsunk)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_live_trace_is_bit_identical(algorithm):
+    """Even a *recording* tracer must not perturb the search itself."""
+    untraced = run_search(algorithm, "h1", 5, tracer=None)
+    sink = MemorySink()
+    traced = run_search(algorithm, "h1", 5, tracer=Tracer(sink))
+    assert_identical(untraced, traced)
+    assert len(sink) > 0
+
+
+def test_event_stream_covers_the_run():
+    """The recorded stream carries every examination, in order."""
+    sink = MemorySink()
+    status, _, stats = run_search("ida", "h0", 3, tracer=Tracer(sink))
+    assert status == "found"
+    expands = [e for e in sink.events if e["event"] == "expand"]
+    assert len(expands) == stats.states_examined
+    # expand events carry the running examination count, 1..N in order
+    assert [e["n"] for e in expands] == list(
+        range(1, stats.states_examined + 1)
+    )
