@@ -10,7 +10,9 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 _SECTIONS: list[tuple[str, str]] = []
 
@@ -34,3 +36,15 @@ def bamm_limit() -> int | None:
 def bench_budget() -> int:
     """State budget for blind/cut-off-prone searches."""
     return int(os.environ.get("REPRO_BENCH_BUDGET", "200000"))
+
+
+def write_bench_json(path: str | Path, payload: dict) -> Path:
+    """Persist a bench result payload as stable, diff-friendly JSON.
+
+    Benches that publish machine-readable results (``BENCH_*.json`` at the
+    repo root) write through here so every file gets the same formatting:
+    sorted keys, two-space indent, trailing newline.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

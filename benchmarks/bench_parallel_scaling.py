@@ -1,0 +1,234 @@
+"""Parallel fan-out scaling — serial vs 2 and 4 workers on the Fig. 5 grid.
+
+Runs the blind (IDA*/h0) synthetic matching sweep three times —
+``workers=0`` (the untouched serial path), ``workers=2`` and ``workers=4``
+— and reports wall-clock, speedup, and per-arm point counts.  The grid
+repeats each size several times ("trials"): a single Fig. 5 sweep is
+dominated by its largest size, so a trial-less grid cannot scale no matter
+how many workers it gets, while repeated sizes deal out round-robin into
+balanced chunks.  Two properties are checked:
+
+* **Bit-identity (always asserted).**  Every parallel arm's series must
+  normalize to exactly the serial series — states, statuses, expression
+  sizes, and all cache counters included.  This is the determinism
+  contract of :mod:`repro.parallel.fanout` and it must hold on any
+  machine, loaded or not.
+* **Speedup (asserted only with enough CPUs).**  The acceptance bar is a
+  >= 2.5x speedup with 4 workers, which a 1- or 2-core container cannot
+  physically exhibit; the assertion is gated on ``cpu_count() >= 4`` and
+  the measured ratio is recorded honestly either way.
+
+Results land in ``BENCH_parallel_scaling.json`` at the repo root (CPU
+count, start method, per-arm wall-clock and speedups).
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick
+
+or through the bench suite: ``pytest benchmarks/bench_parallel_scaling.py
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentSeries, run_matching_series
+from repro.experiments.report import ascii_table
+from repro.parallel import normalize_series
+from repro.parallel.pool import cpu_count, preferred_start_method
+
+if __package__ is None and not __name__.startswith("benchmarks"):
+    # running as a script: make _bench_utils importable
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _bench_utils import record_section, write_bench_json
+
+ALGORITHM = "ida"
+#: blind search — the arm with real per-point work (h1 solves these in ms)
+HEURISTIC = "h0"
+#: the Fig. 5 grid with trials: 4x size 6 (~3.5 s each) + 4x size 5
+HEADLINE_SIZES = (6,) * 4 + (5,) * 4
+QUICK_SIZES = (5,) * 2 + (4,) * 2
+BUDGET = 400_000
+WORKER_ARMS = (2, 4)
+#: acceptance bar for the 4-worker arm — only meaningful with >= 4 CPUs
+TARGET_SPEEDUP = 2.5
+JSON_NAME = "BENCH_parallel_scaling.json"
+
+
+def _timed_sweep(
+    sizes: Sequence[int], workers: int, rounds: int
+) -> tuple[float, ExperimentSeries]:
+    """Min-of-rounds wall clock for one sweep arm (GC paused per round)."""
+    best = float("inf")
+    series: ExperimentSeries | None = None
+    gc_was_enabled = gc.isenabled()
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            series = run_matching_series(
+                ALGORITHM,
+                HEURISTIC,
+                sizes,
+                budget=BUDGET,
+                workers=workers,
+            )
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    assert series is not None
+    return best, series
+
+
+def measure_scaling(sizes: Sequence[int], rounds: int = 1) -> dict:
+    """The scaling sweep: serial baseline plus one row per worker arm."""
+    serial_secs, serial_series = _timed_sweep(sizes, 0, rounds)
+    serial_normal = normalize_series(serial_series)
+    arms = {
+        "serial": {
+            "workers": 0,
+            "wall_seconds": serial_secs,
+            "points": len(serial_series.points),
+            "speedup": 1.0,
+        }
+    }
+    for workers in WORKER_ARMS:
+        wall, series = _timed_sweep(sizes, workers, rounds)
+        if normalize_series(series) != serial_normal:
+            raise AssertionError(
+                f"workers={workers} broke the determinism contract: "
+                f"parallel series differs from serial"
+            )
+        arms[f"workers_{workers}"] = {
+            "workers": workers,
+            "wall_seconds": wall,
+            "points": len(series.points),
+            "speedup": serial_secs / wall if wall else float("inf"),
+        }
+    return {
+        "workload": {
+            "algorithm": ALGORITHM,
+            "heuristic": HEURISTIC,
+            "sizes": list(sizes),
+            "budget": BUDGET,
+            "rounds": rounds,
+        },
+        "machine": {
+            "cpu_count": cpu_count(),
+            "start_method": preferred_start_method(),
+        },
+        "arms": arms,
+        "bit_identical": True,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_asserted": cpu_count() >= 4,
+    }
+
+
+def scaling_table(payload: dict) -> str:
+    """Render the sweep as an ASCII table."""
+    rows = [
+        [
+            name,
+            arm["workers"],
+            arm["points"],
+            f"{arm['wall_seconds']:.3f}",
+            f"{arm['speedup']:.2f}x",
+        ]
+        for name, arm in payload["arms"].items()
+    ]
+    machine = payload["machine"]
+    workload = payload["workload"]
+    title = (
+        f"parallel fan-out scaling — {workload['algorithm']}/"
+        f"{workload['heuristic']}, sizes {workload['sizes']} "
+        f"({machine['cpu_count']} cpu(s), {machine['start_method']})"
+    )
+    return ascii_table(
+        ["arm", "workers", "points", "wall (s)", "speedup"], rows, title=title
+    )
+
+
+def check_acceptance(payload: dict) -> None:
+    """Assert the speedup bar when the machine can physically meet it."""
+    if not payload["speedup_asserted"]:
+        return
+    speedup = payload["arms"]["workers_4"]["speedup"]
+    if speedup < TARGET_SPEEDUP:
+        raise AssertionError(
+            f"4-worker speedup {speedup:.2f}x below the "
+            f"{TARGET_SPEEDUP}x bar on a {payload['machine']['cpu_count']}-cpu "
+            f"machine"
+        )
+
+
+def run_bench(sizes: Sequence[int], rounds: int, json_path: Path | None) -> dict:
+    payload = measure_scaling(sizes, rounds)
+    table = scaling_table(payload)
+    record_section("Parallel fan-out scaling (serial vs 2/4 workers)", table)
+    print(table)
+    check_acceptance(payload)
+    if not payload["speedup_asserted"]:
+        print(
+            f"\nnote: speedup bar ({TARGET_SPEEDUP}x @ 4 workers) not asserted "
+            f"on a {payload['machine']['cpu_count']}-cpu machine; "
+            "bit-identity checked on every arm"
+        )
+    if json_path is not None:
+        write_bench_json(json_path, payload)
+        print(f"results written to {json_path}")
+    return payload
+
+
+# -- pytest integration -------------------------------------------------------
+
+
+def test_parallel_scaling(benchmark):
+    """Bench-suite entry: time the 2-worker sweep, assert bit-identity."""
+    sizes = QUICK_SIZES
+    _, serial_series = _timed_sweep(sizes, 0, 1)
+    series = benchmark(
+        lambda: run_matching_series(
+            ALGORITHM, HEURISTIC, sizes, budget=BUDGET, workers=2
+        )
+    )
+    assert normalize_series(series) == normalize_series(serial_series)
+    payload = measure_scaling(sizes, rounds=1)
+    record_section(
+        "Parallel fan-out scaling (serial vs 2/4 workers)",
+        scaling_table(payload),
+    )
+    check_acceptance(payload)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes, one round"
+    )
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).resolve().parent.parent / JSON_NAME),
+        help="result JSON destination ('' to skip)",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else HEADLINE_SIZES
+    # min-of-2 rounds per arm: each sweep runs for seconds, so what is left
+    # to damp is host-load bursts, not timer resolution
+    json_path = Path(args.json) if args.json else None
+    run_bench(sizes, rounds=1 if args.quick else 2, json_path=json_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

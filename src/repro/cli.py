@@ -5,10 +5,15 @@ file, header row = attributes), mirroring the paper's GUI inputs (Fig. 3).
 
 Commands::
 
-    python -m repro discover --source DIR --target DIR
+    python -m repro discover (--source DIR --target DIR | --synthetic N)
         [--algorithm rbfs] [--heuristic h1] [--k K] [--budget N]
         [--correspondence "Total<-add(Cost,Fee)"]...
-        [--show-matching] [--show-sql] [--output FILE] [--trace FILE]
+        [--portfolio] [--show-matching] [--show-sql]
+        [--output FILE] [--trace FILE]
+
+    python -m repro experiments --sizes 1 2 3 4
+        [--algorithm ida]... [--heuristic h1] [--budget N]
+        [--workers N] [--trace-dir DIR] [--output FILE]
 
     python -m repro apply --expression FILE --source DIR [--output DIR]
 
@@ -64,10 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
     discover = sub.add_parser(
         "discover", help="discover a mapping between two critical instances"
     )
-    discover.add_argument("--source", required=True, help="source CSV directory")
-    discover.add_argument("--target", required=True, help="target CSV directory")
+    discover.add_argument("--source", default=None, help="source CSV directory")
+    discover.add_argument("--target", default=None, help="target CSV directory")
+    discover.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        metavar="N",
+        help="discover on the size-N synthetic matching workload instead of "
+        "CSV instances",
+    )
     discover.add_argument(
         "--algorithm", default="rbfs", choices=sorted(ALGORITHM_NAMES)
+    )
+    discover.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the algorithm portfolio across processes instead of "
+        "running a single algorithm (--algorithm is ignored)",
     )
     discover.add_argument(
         "--heuristic",
@@ -101,6 +120,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="record a JSONL event trace of the search to FILE",
+    )
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run the synthetic matching sweep (Fig. 5), optionally in parallel",
+    )
+    experiments.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        required=True,
+        metavar="N",
+        help="synthetic schema sizes to measure",
+    )
+    experiments.add_argument(
+        "--algorithm",
+        action="append",
+        default=[],
+        choices=sorted(ALGORITHM_NAMES),
+        help="algorithm(s) to sweep (repeatable; default: ida)",
+    )
+    experiments.add_argument(
+        "--heuristic",
+        default="h1",
+        choices=sorted(HEURISTIC_NAMES + EXTENSION_HEURISTIC_NAMES),
+    )
+    experiments.add_argument("--k", type=float, default=None, help="scaling constant")
+    experiments.add_argument(
+        "--budget", type=int, default=1_000_000, help="max states per point"
+    )
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard points across N worker processes (0 = serial)",
+    )
+    experiments.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "forkserver", "spawn"],
+        help="multiprocessing start method (default: best available)",
+    )
+    experiments.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="persist a JSONL trace per measured point under DIR",
+    )
+    experiments.add_argument(
+        "--output", default=None, metavar="FILE", help="archive the series as JSON"
     )
 
     apply_cmd = sub.add_parser(
@@ -166,11 +236,28 @@ def _open_trace_sink(path: str) -> JsonlSink | int:
 
 def cmd_discover(args: argparse.Namespace) -> int:
     """Run mapping discovery between two CSV-directory instances."""
-    source = load_database_dir(args.source)
-    target = load_database_dir(args.target)
+    if args.synthetic is not None:
+        if args.synthetic < 1:
+            print("error: --synthetic needs a size >= 1", file=sys.stderr)
+            return 2
+        from .workloads import matching_pair
+
+        pair = matching_pair(args.synthetic)
+        source, target = pair.source, pair.target
+    elif args.source and args.target:
+        source = load_database_dir(args.source)
+        target = load_database_dir(args.target)
+    else:
+        print(
+            "error: discover needs either --synthetic N or --source and --target",
+            file=sys.stderr,
+        )
+        return 2
     correspondences = [
         _parse_correspondence_arg(text) for text in args.correspondence
     ]
+    if args.portfolio:
+        return _discover_portfolio(args, source, target, correspondences)
     tracer = None
     if args.trace:
         sink = _open_trace_sink(args.trace)
@@ -212,6 +299,85 @@ def cmd_discover(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(str(result.expression) + "\n")
         print(f"\nexpression written to {args.output}")
+    return 0
+
+
+def _discover_portfolio(args, source, target, correspondences) -> int:
+    """Race the algorithm portfolio for one discovery task."""
+    from .parallel import discover_mapping_portfolio, race_table
+
+    race = discover_mapping_portfolio(
+        source,
+        target,
+        heuristic=args.heuristic,
+        k=args.k,
+        correspondences=correspondences,
+        config=SearchConfig(max_states=args.budget),
+        trace_dir=args.trace,
+    )
+    print(race_table(race))
+    if args.trace:
+        print(f"per-arm traces written under {args.trace}")
+    if not race.found:
+        return 1
+    result = race.result
+    print()
+    print(result.expression if not result.expression.is_identity else "(identity)")
+    if args.show_matching:
+        print()
+        print("# induced schema matching")
+        print(extract_matching(result.expression))
+    if args.show_sql:
+        print()
+        print(compile_expression(result.expression, source, builtin_registry()))
+    if args.output:
+        Path(args.output).write_text(str(result.expression) + "\n")
+        print(f"\nexpression written to {args.output}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Run the synthetic matching sweep, optionally across worker processes."""
+    from .experiments import (
+        cache_summary_table,
+        run_matching_series,
+        save_series,
+        series_table,
+        trace_index_table,
+    )
+
+    algorithms = args.algorithm or ["ida"]
+    series_list = [
+        run_matching_series(
+            algorithm,
+            args.heuristic,
+            args.sizes,
+            budget=args.budget,
+            k=args.k,
+            trace_dir=args.trace_dir,
+            workers=args.workers,
+            start_method=args.start_method,
+        )
+        for algorithm in algorithms
+    ]
+    print(series_table(series_list, x_label="n"))
+    print()
+    print(cache_summary_table(series_list))
+    if args.trace_dir:
+        print()
+        print(trace_index_table(series_list))
+    if args.output:
+        save_series(
+            args.output,
+            series_list,
+            metadata={
+                "experiment": "matching",
+                "sizes": list(args.sizes),
+                "budget": args.budget,
+                "workers": args.workers,
+            },
+        )
+        print(f"\nseries archived to {args.output}")
     return 0
 
 
@@ -298,11 +464,27 @@ def cmd_info(_args: argparse.Namespace) -> int:
           "metrics registry (counters/gauges/histograms)")
     print("sinks: " + ", ".join(SINK_NAMES))
     print("events: " + ", ".join(EVENT_TYPES))
+    from .parallel import (
+        available_start_methods,
+        cpu_count,
+        default_workers,
+        preferred_start_method,
+    )
+
+    methods = ", ".join(
+        f"{m}*" if m == preferred_start_method() else m
+        for m in available_start_methods()
+    )
+    print(
+        f"parallel: {cpu_count()} cpu(s), default workers {default_workers()}, "
+        f"start methods: {methods} (* = preferred)"
+    )
     return 0
 
 
 _COMMANDS = {
     "discover": cmd_discover,
+    "experiments": cmd_experiments,
     "apply": cmd_apply,
     "tnf": cmd_tnf,
     "trace": cmd_trace,

@@ -12,6 +12,17 @@ JSONL trace per measured point next to the archived series — each
 :class:`ExperimentPoint` then carries its ``trace_path``) and ``metrics=``
 (one shared :class:`~repro.obs.metrics.MetricsRegistry` accumulating
 counters and distribution histograms across the whole series).
+
+Parallelism: every ``run_*`` function also accepts ``workers=N`` — the
+series' measured points shard across a process pool
+(:mod:`repro.parallel.fanout`) and come back re-sorted by grid index, so
+the persisted points are identical to a serial sweep except for the
+volatile fields (wall-clock, and trace paths gaining a per-worker ``.w{n}``
+marker).  ``workers=0`` (the default) keeps the serial code path untouched;
+pools that fail to start degrade back to serial execution automatically.
+With ``stop_after_cutoff`` a parallel sweep still *measures* every
+requested point (workers cannot see each other's cut-offs) and truncates on
+collection, trading wasted work for wall-clock.
 """
 
 from __future__ import annotations
@@ -93,21 +104,45 @@ def _point(x: float, result: SearchResult, trace_path: str = "") -> ExperimentPo
     )
 
 
-def _trace_sink(
-    trace_dir: str | Path | None, label: str, x: float
-) -> tuple[Tracer | None, str]:
-    """A JSONL tracer for one measured point (None when tracing is off).
+def _trace_path(trace_dir: str | Path | None, label: str, x: float) -> str:
+    """The JSONL trace path for one measured point ("" when tracing is off).
 
     Trace files land in *trace_dir* as ``<label>_x<value>.jsonl`` with
     ``/`` flattened to ``-`` so each series label stays one directory.
+    Parallel sweeps splice a ``.w{worker}`` marker in before the extension.
     """
     if trace_dir is None:
-        return None, ""
+        return ""
     safe = label.replace("/", "-").replace(" ", "_")
     x_text = f"{x:g}".replace(".", "_")
     path = Path(trace_dir) / f"{safe}_x{x_text}.jsonl"
     path.parent.mkdir(parents=True, exist_ok=True)
-    return Tracer(JsonlSink(path)), str(path)
+    return str(path)
+
+
+def _trace_sink(
+    trace_dir: str | Path | None, label: str, x: float
+) -> tuple[Tracer | None, str]:
+    """A JSONL tracer for one measured point (None when tracing is off)."""
+    path = _trace_path(trace_dir, label, x)
+    if not path:
+        return None, ""
+    return Tracer(JsonlSink(path)), path
+
+
+def _truncate_after_cutoff(points: list[ExperimentPoint]) -> list[ExperimentPoint]:
+    """Apply the serial ``stop_after_cutoff`` contract to collected points.
+
+    A serial sweep appends the first failing point and stops; a parallel
+    sweep measures the whole grid and truncates here, so both persist the
+    same series.
+    """
+    out: list[ExperimentPoint] = []
+    for point in points:
+        out.append(point)
+        if not point.found:
+            break
+    return out
 
 
 def run_matching_series(
@@ -119,6 +154,8 @@ def run_matching_series(
     stop_after_cutoff: bool = True,
     trace_dir: str | Path | None = None,
     metrics: MetricsRegistry | None = None,
+    workers: int = 0,
+    start_method: str | None = None,
 ) -> ExperimentSeries:
     """Experiment 1 (Figs. 5 & 6): synthetic schema matching.
 
@@ -127,10 +164,36 @@ def run_matching_series(
     size exhausts the budget — larger sizes only get more expensive, which
     is how the paper's curves end at the 10^6 cut.  *trace_dir* persists a
     JSONL trace per point; *metrics* aggregates counters across the series.
+    With ``workers >= 1`` the sizes shard across a process pool (see the
+    module docstring for the determinism contract).
     """
-    config = SearchConfig(max_states=budget)
     label = f"{algorithm}/{heuristic}"
-    points: list[ExperimentPoint] = []
+    if workers >= 1:
+        from ..parallel.fanout import PointSpec, run_experiment_points
+
+        specs = [
+            PointSpec(
+                index=i,
+                kind="matching",
+                x=size,
+                algorithm=algorithm,
+                heuristic=heuristic,
+                k=k,
+                budget=budget,
+                size=size,
+                trace_path=_trace_path(trace_dir, label, size),
+                collect_metrics=metrics is not None,
+            )
+            for i, size in enumerate(sizes)
+        ]
+        points = run_experiment_points(
+            specs, workers, start_method=start_method, metrics=metrics
+        )
+        if stop_after_cutoff:
+            points = _truncate_after_cutoff(points)
+        return ExperimentSeries(label=label, points=tuple(points))
+    config = SearchConfig(max_states=budget)
+    points = []
     for size in sizes:
         pair = matching_pair(size)
         tracer, trace_path = _trace_sink(trace_dir, label, size)
@@ -164,17 +227,44 @@ def run_bamm_domain(
     limit: int | None = None,
     trace_dir: str | Path | None = None,
     metrics: MetricsRegistry | None = None,
+    workers: int = 0,
+    start_method: str | None = None,
 ) -> ExperimentSeries:
     """Experiment 2 (Figs. 7 & 8): one BAMM domain, fixed source -> targets.
 
     Returns one point per interface (x = interface id); callers average the
     states (the paper reports per-domain averages).  *limit* restricts the
-    number of interfaces for quick runs.
+    number of interfaces for quick runs.  ``workers >= 1`` shards the
+    interfaces across a process pool (databases ship with the spec — BAMM
+    tasks are generated, not rebuildable from a name).
     """
-    config = SearchConfig(max_states=budget)
     tasks = domain.tasks[:limit] if limit is not None else domain.tasks
     label = f"{algorithm}/{heuristic}/{domain.name}"
-    points: list[ExperimentPoint] = []
+    if workers >= 1:
+        from ..parallel.fanout import PointSpec, run_experiment_points
+
+        specs = [
+            PointSpec(
+                index=i,
+                kind="databases",
+                x=task.interface_id,
+                algorithm=algorithm,
+                heuristic=heuristic,
+                k=k,
+                budget=budget,
+                source=task.source,
+                target=task.target,
+                trace_path=_trace_path(trace_dir, label, task.interface_id),
+                collect_metrics=metrics is not None,
+            )
+            for i, task in enumerate(tasks)
+        ]
+        points = run_experiment_points(
+            specs, workers, start_method=start_method, metrics=metrics
+        )
+        return ExperimentSeries(label=label, points=tuple(points))
+    config = SearchConfig(max_states=budget)
+    points = []
     for task in tasks:
         tracer, trace_path = _trace_sink(trace_dir, label, task.interface_id)
         try:
@@ -230,11 +320,56 @@ def run_semantic_series(
     stop_after_cutoff: bool = True,
     trace_dir: str | Path | None = None,
     metrics: MetricsRegistry | None = None,
+    workers: int = 0,
+    start_method: str | None = None,
 ) -> ExperimentSeries:
-    """Experiment 3 (Fig. 9): states vs number of complex functions."""
-    config = SearchConfig(max_states=budget)
+    """Experiment 3 (Fig. 9): states vs number of complex functions.
+
+    ``workers >= 1`` shards the function counts across a process pool when
+    the domain's function registry has a named provider (the registry
+    itself holds callables and cannot cross a process line); unknown
+    domains fall back to the serial sweep.
+    """
     label = f"{algorithm}/{heuristic}/{domain.name}"
-    points: list[ExperimentPoint] = []
+    if workers >= 1:
+        from ..parallel.providers import has_provider
+
+        if has_provider(domain.name):
+            from ..parallel.fanout import PointSpec, run_experiment_points
+
+            grid: list[int] = []
+            for n in counts:
+                if n > domain.max_functions:
+                    break
+                grid.append(n)
+            specs = []
+            for i, n in enumerate(grid):
+                task = domain.task(n)
+                specs.append(
+                    PointSpec(
+                        index=i,
+                        kind="semantic",
+                        x=n,
+                        algorithm=algorithm,
+                        heuristic=heuristic,
+                        k=k,
+                        budget=budget,
+                        source=task.source,
+                        target=task.target,
+                        correspondences=tuple(task.correspondences),
+                        registry_provider=domain.name,
+                        trace_path=_trace_path(trace_dir, label, n),
+                        collect_metrics=metrics is not None,
+                    )
+                )
+            points = run_experiment_points(
+                specs, workers, start_method=start_method, metrics=metrics
+            )
+            if stop_after_cutoff:
+                points = _truncate_after_cutoff(points)
+            return ExperimentSeries(label=label, points=tuple(points))
+    config = SearchConfig(max_states=budget)
+    points = []
     for n in counts:
         if n > domain.max_functions:
             break

@@ -177,20 +177,49 @@ class MetricsRegistry:
                 out[name] = instrument.value
         return out
 
-    def publish_stats(self, stats_dict: Mapping[str, float | int]) -> None:
+    def publish_stats(
+        self, stats_dict: Mapping[str, float | int], prefix: str = "search."
+    ) -> None:
         """Publish a final ``SearchStats.as_dict()`` snapshot.
 
-        Integer quantities accumulate into ``search.<name>`` counters and
+        Integer quantities accumulate into ``<prefix><name>`` counters and
         float quantities (phase timers, elapsed) accumulate into gauges,
-        so a registry shared across several runs holds the totals.
+        so a registry shared across several runs holds the totals.  The
+        portfolio racer publishes per-arm snapshots under
+        ``portfolio.<arm>.`` prefixes into one shared registry.
         """
         for key, value in stats_dict.items():
-            name = f"search.{key}"
+            name = f"{prefix}{key}"
             if isinstance(value, float):
                 self.gauge(name).add(value)
             else:
                 counter = self.counter(name)
                 counter.inc(int(value))
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Accumulate *other*'s instruments into this registry.
+
+        Counters and gauges add; histograms add cell-wise (bucket layouts
+        must match — fixed boundaries are what make registries mergeable
+        across processes).  The experiment fan-out merges each worker's
+        chunk-local registry through here, so parallel sweeps publish the
+        same counter and histogram totals a serial sweep would.
+
+        Raises:
+            ValueError: on kind mismatches or differing histogram buckets.
+        """
+        for name in other.names():
+            theirs = other._instruments[name]
+            if isinstance(theirs, Counter):
+                self.counter(name).inc(theirs.value)
+            elif isinstance(theirs, Gauge):
+                self.gauge(name).add(theirs.value)
+            else:
+                mine = self.histogram(name, theirs.buckets)
+                for i, count in enumerate(theirs.counts):
+                    mine.counts[i] += count
+                mine.total += theirs.total
+                mine.sum += theirs.sum
 
     def __repr__(self) -> str:
         return f"<MetricsRegistry {len(self)} instruments>"

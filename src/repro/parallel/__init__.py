@@ -1,0 +1,65 @@
+"""Parallel execution layer: experiment fan-out and portfolio racing.
+
+Two entry points put every available core behind TUPELO:
+
+* :func:`~repro.parallel.fanout.run_experiment_points` — shard a grid of
+  independent experiment measurements across a process pool (the
+  ``workers=`` mode of the :mod:`repro.experiments.runner` functions).
+* :func:`~repro.parallel.portfolio.discover_mapping_portfolio` — race the
+  search-algorithm portfolio on one problem and return the first verified
+  mapping, cancelling the losers.
+
+Both degrade gracefully to serial execution when process pools are
+unavailable, and both guarantee the deterministic parts of their results
+are identical to a serial run (see ``docs/performance.md``).
+"""
+
+from .fanout import (
+    PointSpec,
+    normalize_point,
+    normalize_series,
+    run_experiment_points,
+)
+from .pool import (
+    available_start_methods,
+    cpu_count,
+    default_workers,
+    preferred_start_method,
+    strided_chunks,
+    supports_start_method,
+    worker_trace_path,
+)
+from .portfolio import (
+    DEFAULT_PORTFOLIO,
+    ArmReport,
+    PortfolioResult,
+    discover_mapping_portfolio,
+    race_table,
+)
+from .providers import (
+    provider_names,
+    register_provider,
+    resolve_registry,
+)
+
+__all__ = [
+    "PointSpec",
+    "normalize_point",
+    "normalize_series",
+    "run_experiment_points",
+    "available_start_methods",
+    "cpu_count",
+    "default_workers",
+    "preferred_start_method",
+    "strided_chunks",
+    "supports_start_method",
+    "worker_trace_path",
+    "DEFAULT_PORTFOLIO",
+    "ArmReport",
+    "PortfolioResult",
+    "discover_mapping_portfolio",
+    "race_table",
+    "provider_names",
+    "register_provider",
+    "resolve_registry",
+]

@@ -49,6 +49,19 @@ class Database:
         self._hash = hash(self._relations)
         self._views: dict[object, object] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle only the member relations — never the memoised views.
+
+        The parallel execution layer ships database states into worker
+        processes; a search-warm state's view store (TNF triples, value
+        texts, the database string, ...) can be far larger than the data.
+        Views rebuild lazily in the receiving process.
+        """
+        return {"relations": self._relations}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["relations"])
+
     def cached_view(self, key: object, compute: Callable[[], object]) -> object:
         """Memoise a derived view of this (immutable) database.
 

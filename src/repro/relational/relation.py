@@ -82,6 +82,23 @@ class Relation:
         self._hash = hash((self._name, self._attributes, self._rows))
         self._views: dict[object, object] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle only the defining data — never the memoised views.
+
+        Search-warm relations carry megabytes of derived views; shipping
+        them across a process boundary (the parallel execution layer
+        pickles states into workers) would dwarf the data itself.  Views
+        rebuild lazily on first use in the receiving process.
+        """
+        return {
+            "name": self._name,
+            "attributes": self._attributes,
+            "rows": tuple(self._rows),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["name"], state["attributes"], state["rows"])
+
     def cached_view(self, key: object, compute: Callable[[], object]) -> object:
         """Memoise a derived view of this (immutable) relation.
 

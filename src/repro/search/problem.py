@@ -125,6 +125,26 @@ class MappingProblem:
         self._goal_cache: OrderedDict[Database, bool] = OrderedDict()
         self._interned: OrderedDict[Database, Database] = OrderedDict()
 
+    def __getstate__(self) -> dict:
+        """Pickle the problem without its memo tables.
+
+        The transposition, goal-verdict, and intern tables can hold every
+        state the search touched — megabytes of memoised views that would
+        all ship on a process boundary.  They are pure caches and rebuild
+        lazily, so a pickled problem carries only its definition.  (The
+        registry must itself be picklable; the parallel layer sidesteps
+        that by shipping registry *provider names* instead — see
+        :mod:`repro.parallel.providers`.)
+        """
+        state = dict(self.__dict__)
+        state["_successor_cache"] = OrderedDict()
+        state["_goal_cache"] = OrderedDict()
+        state["_interned"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- problem interface -----------------------------------------------------
 
     def initial_state(self) -> Database:

@@ -1,0 +1,445 @@
+"""Tests for the parallel execution layer (repro.parallel).
+
+The layer's contract is *equivalence*: a parallel sweep must persist
+bit-identical ExperimentPoints to a serial sweep (modulo wall-clock and the
+per-worker trace-path marker), and a portfolio race must return a mapping
+equal to what the winning algorithm finds on its own.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import (
+    run_bamm_domain,
+    run_matching_series,
+    run_semantic_series,
+)
+from repro.obs import load_trace, replay_counters
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import (
+    DEFAULT_PORTFOLIO,
+    discover_mapping_portfolio,
+    normalize_point,
+    normalize_series,
+    race_table,
+    run_experiment_points,
+)
+from repro.parallel import fanout as fanout_module
+from repro.parallel.fanout import PointSpec
+from repro.parallel.pool import (
+    cpu_count,
+    default_workers,
+    resolve_start_method,
+    strided_chunks,
+    worker_trace_path,
+)
+from repro.parallel.providers import (
+    has_provider,
+    provider_names,
+    register_provider,
+    resolve_registry,
+)
+from repro.relational import Database, Relation
+from repro.search import SearchConfig, discover_mapping
+from repro.search.problem import MappingProblem
+from repro.semantics import FunctionRegistry
+from repro.workloads.bamm import bamm_corpus
+from repro.workloads.semantic_domains import inventory_domain
+from repro.workloads.synthetic import matching_pair
+
+
+def _counters_only(registry: MetricsRegistry) -> dict:
+    """Registry snapshot without gauges (timers are wall-clock, volatile)."""
+    return {
+        name: value
+        for name, value in registry.as_dict().items()
+        if not isinstance(value, float)
+    }
+
+
+class TestPoolHelpers:
+    def test_strided_chunks_round_robin(self):
+        assert strided_chunks([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_strided_chunks_drops_empty(self):
+        assert strided_chunks([1], 4) == [[1]]
+
+    def test_worker_trace_path_marker(self):
+        assert worker_trace_path("out/run_x3.jsonl", 1) == "out/run_x3.w1.jsonl"
+
+    def test_worker_trace_path_empty_passthrough(self):
+        assert worker_trace_path("", 0) == ""
+
+    def test_resolve_start_method_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_start_method("threads")
+
+    def test_cpu_count_and_default_workers_positive(self):
+        assert cpu_count() >= 1
+        assert 1 <= default_workers() <= cpu_count()
+
+
+class TestPickleSafety:
+    def test_relation_round_trip_drops_views(self):
+        rel = Relation.from_dicts("R", [{"A": 1, "B": "x"}])
+        rel.value_set()  # warm a memoised view
+        clone = pickle.loads(pickle.dumps(rel))
+        assert clone == rel
+        assert clone._views == {}
+        assert clone.value_set() == rel.value_set()
+
+    def test_database_round_trip_drops_views(self):
+        db = Database.from_dict({"R": [{"A": 1}], "S": [{"B": 2}]})
+        db.value_texts()  # warm a memoised view
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone == db
+        assert clone._views == {}
+        assert hash(clone) == hash(db)
+
+    def test_mapping_problem_getstate_drops_memo_tables(self):
+        pair = matching_pair(2)
+        problem = MappingProblem(
+            pair.source, pair.target, registry=FunctionRegistry()
+        )
+        # warm the memo tables, then check they do not cross the pickle line
+        start = problem.initial_state()
+        problem.successors(start)
+        problem.is_goal(start)
+        clone = pickle.loads(pickle.dumps(problem))
+        assert clone._successor_cache == {}
+        assert clone._goal_cache == {}
+        assert clone._interned == {}
+        assert clone.source == problem.source
+        assert clone.target == problem.target
+
+
+class TestFanoutEquivalence:
+    def test_matching_two_workers_bit_identical(self, tmp_path):
+        serial_metrics, parallel_metrics = MetricsRegistry(), MetricsRegistry()
+        serial = run_matching_series(
+            "ida",
+            "h1",
+            [1, 2, 3, 4],
+            budget=20_000,
+            trace_dir=tmp_path / "serial",
+            metrics=serial_metrics,
+        )
+        parallel = run_matching_series(
+            "ida",
+            "h1",
+            [1, 2, 3, 4],
+            budget=20_000,
+            trace_dir=tmp_path / "parallel",
+            metrics=parallel_metrics,
+            workers=2,
+        )
+        assert normalize_series(parallel) == normalize_series(serial)
+        # counters and histograms merge to the serial totals exactly
+        assert _counters_only(parallel_metrics) == _counters_only(serial_metrics)
+
+    def test_matching_one_worker_bit_identical(self):
+        serial = run_matching_series("greedy", "h1", [2, 3], budget=20_000)
+        parallel = run_matching_series(
+            "greedy", "h1", [2, 3], budget=20_000, workers=1
+        )
+        assert normalize_series(parallel) == normalize_series(serial)
+
+    def test_stop_after_cutoff_truncates_like_serial(self):
+        # a tiny budget forces a cutoff mid-grid
+        serial = run_matching_series("ida", "h0", [1, 2, 3, 4, 5], budget=10)
+        parallel = run_matching_series(
+            "ida", "h0", [1, 2, 3, 4, 5], budget=10, workers=2
+        )
+        assert len(serial.points) < 5  # the cutoff actually triggered
+        assert normalize_series(parallel) == normalize_series(serial)
+
+    def test_bamm_two_workers_bit_identical(self):
+        domain = bamm_corpus(2006)["Books"]
+        serial = run_bamm_domain("greedy", "h1", domain, budget=5_000, limit=4)
+        parallel = run_bamm_domain(
+            "greedy", "h1", domain, budget=5_000, limit=4, workers=2
+        )
+        assert normalize_series(parallel) == normalize_series(serial)
+
+    def test_semantic_two_workers_bit_identical(self):
+        domain = inventory_domain()
+        serial = run_semantic_series(
+            "ida", "h1", domain, counts=[1, 2, 3], budget=20_000
+        )
+        parallel = run_semantic_series(
+            "ida", "h1", domain, counts=[1, 2, 3], budget=20_000, workers=2
+        )
+        assert normalize_series(parallel) == normalize_series(serial)
+
+    def test_worker_traces_round_trip(self, tmp_path):
+        series = run_matching_series(
+            "ida", "h1", [1, 2, 3], budget=20_000, trace_dir=tmp_path, workers=2
+        )
+        suffixes = {p.trace_path.rsplit(".w", 1)[1] for p in series.points}
+        assert suffixes <= {"0.jsonl", "1.jsonl"}
+        assert len(suffixes) == 2  # both workers actually wrote traces
+        for point in series.points:
+            events = load_trace(point.trace_path)
+            counters = replay_counters(events)
+            assert counters["states_examined"] == point.states
+
+    def test_degrades_to_serial_when_pool_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            fanout_module, "try_executor", lambda *a, **k: None
+        )
+        serial = run_matching_series("ida", "h1", [1, 2], budget=20_000)
+        degraded = run_matching_series(
+            "ida", "h1", [1, 2], budget=20_000, workers=2
+        )
+        assert normalize_series(degraded) == normalize_series(serial)
+
+    def test_empty_specs(self):
+        assert run_experiment_points([], workers=2) == []
+
+    def test_unknown_spec_kind_rejected(self):
+        spec = PointSpec(index=0, kind="nope", x=1, algorithm="ida", heuristic="h1")
+        with pytest.raises(ValueError, match="unknown point spec kind"):
+            fanout_module._execute_spec(spec, None)
+
+    def test_normalize_point_zeros_volatile_fields_only(self):
+        series = run_matching_series("ida", "h1", [2], budget=20_000)
+        point = series.points[0]
+        normal = normalize_point(point)
+        assert normal.elapsed_seconds == 0.0
+        assert normal.trace_path == ""
+        assert (normal.x, normal.states, normal.status) == (
+            point.x,
+            point.states,
+            point.status,
+        )
+
+
+class TestProviders:
+    def test_builtin_and_semantic_domains_registered(self):
+        assert has_provider("builtin")
+        assert has_provider("Inventory")
+        assert has_provider("RealEstateII")
+
+    def test_resolve_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="builtin"):
+            resolve_registry("nope")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_provider("builtin", FunctionRegistry)
+
+    def test_register_replace(self):
+        name = "test-provider-tmp"
+        register_provider(name, FunctionRegistry)
+        try:
+            register_provider(name, FunctionRegistry, replace=True)
+            assert name in provider_names()
+        finally:
+            from repro.parallel import providers
+
+            providers._PROVIDERS.pop(name, None)
+
+
+class TestPortfolio:
+    def test_race_matches_winning_solo_run(self):
+        pair = matching_pair(3)
+        race = discover_mapping_portfolio(
+            pair.source, pair.target, config=SearchConfig(max_states=50_000)
+        )
+        assert race.found
+        assert race.winner in DEFAULT_PORTFOLIO
+        solo = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm=race.winner,
+            config=SearchConfig(max_states=50_000),
+        )
+        assert solo.found
+        assert race.result.expression == solo.expression
+
+    def test_race_on_semantic_domain(self):
+        domain = inventory_domain()
+        task = domain.task(1)
+        race = discover_mapping_portfolio(
+            task.source,
+            task.target,
+            algorithms=("ida", "greedy"),
+            correspondences=task.correspondences,
+            registry_provider=domain.name,
+            config=SearchConfig(max_states=50_000),
+        )
+        assert race.found
+        applied = race.result.expression.apply(task.source, task.registry)
+        assert applied.contains(task.target)
+        # acceptance: identical expression to the winning solo run
+        solo = discover_mapping(
+            task.source,
+            task.target,
+            algorithm=race.winner,
+            correspondences=task.correspondences,
+            registry=task.registry,
+            config=SearchConfig(max_states=50_000),
+        )
+        assert race.result.expression == solo.expression
+
+    def test_serial_mode_equivalent(self):
+        pair = matching_pair(2)
+        race = discover_mapping_portfolio(
+            pair.source,
+            pair.target,
+            parallel=False,
+            config=SearchConfig(max_states=50_000),
+        )
+        assert race.mode == "serial"
+        assert race.found
+        solo = discover_mapping(
+            pair.source,
+            pair.target,
+            algorithm=race.winner,
+            config=SearchConfig(max_states=50_000),
+        )
+        assert race.result.expression == solo.expression
+
+    def test_losers_reported_cancelled_or_finished(self):
+        pair = matching_pair(2)
+        race = discover_mapping_portfolio(
+            pair.source, pair.target, config=SearchConfig(max_states=50_000)
+        )
+        statuses = {arm.arm: arm.status for arm in race.arms}
+        assert set(statuses) == set(DEFAULT_PORTFOLIO)
+        assert statuses[race.winner] == "found"
+
+    def test_metrics_published_per_arm(self):
+        pair = matching_pair(2)
+        metrics = MetricsRegistry()
+        race = discover_mapping_portfolio(
+            pair.source,
+            pair.target,
+            config=SearchConfig(max_states=50_000),
+            metrics=metrics,
+        )
+        assert metrics.counter("portfolio.races").value == 1
+        assert metrics.counter(f"portfolio.wins.{race.winner}").value == 1
+        assert (
+            metrics.counter(
+                f"portfolio.{race.winner}.states_examined"
+            ).value
+            == race.arm(race.winner).states_examined
+        )
+
+    def test_per_arm_traces(self, tmp_path):
+        pair = matching_pair(2)
+        race = discover_mapping_portfolio(
+            pair.source,
+            pair.target,
+            algorithms=("ida", "greedy"),
+            parallel=False,  # deterministic: both arms run to completion check
+            config=SearchConfig(max_states=50_000),
+            trace_dir=tmp_path,
+        )
+        winner = race.arm(race.winner)
+        assert winner.trace_path
+        events = load_trace(winner.trace_path)
+        assert replay_counters(events)["states_examined"] == winner.states_examined
+
+    def test_rejects_unknown_algorithm(self):
+        pair = matching_pair(2)
+        with pytest.raises(ValueError, match="unknown"):
+            discover_mapping_portfolio(
+                pair.source, pair.target, algorithms=("quantum",)
+            )
+
+    def test_race_table_marks_winner(self):
+        pair = matching_pair(2)
+        race = discover_mapping_portfolio(
+            pair.source, pair.target, config=SearchConfig(max_states=50_000)
+        )
+        table = race_table(race)
+        assert "<- winner" in table
+        assert race.winner in table
+
+
+class TestMetricsMerge:
+    def test_merge_counters_gauges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").add(1.5)
+        b.gauge("g").add(0.5)
+        a.histogram("h", (1, 2)).observe(1)
+        b.histogram("h", (1, 2)).observe(5)
+        a.merge_from(b)
+        assert a.counter("c").value == 5
+        assert a.gauge("g").value == 2.0
+        hist = a.histogram("h", (1, 2))
+        assert hist.total == 2
+        assert hist.counts == [1, 0, 1]
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", (1, 2)).observe(1)
+        b.histogram("h", (1, 3)).observe(1)
+        with pytest.raises(ValueError, match="buckets"):
+            a.merge_from(b)
+
+    def test_publish_stats_prefix(self):
+        registry = MetricsRegistry()
+        registry.publish_stats({"states": 7, "elapsed": 0.5}, prefix="arm.ida.")
+        assert registry.counter("arm.ida.states").value == 7
+        assert registry.gauge("arm.ida.elapsed").value == 0.5
+
+
+class TestCli:
+    def test_experiments_command_parallel(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "series.json"
+        code = main(
+            [
+                "experiments",
+                "--sizes",
+                "1",
+                "2",
+                "--algorithm",
+                "ida",
+                "--workers",
+                "2",
+                "--budget",
+                "20000",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "ida/h1" in captured
+
+    def test_discover_synthetic_portfolio(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["discover", "--synthetic", "2", "--portfolio", "--budget", "50000"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "portfolio race" in captured
+        assert "<- winner" in captured
+
+    def test_discover_requires_some_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(["discover", "--synthetic", "0"]) == 2
+        assert main(["discover"]) == 2
+
+    def test_info_reports_parallel_capabilities(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        captured = capsys.readouterr().out
+        assert "parallel:" in captured
+        assert "cpu" in captured
+        assert "start methods" in captured
