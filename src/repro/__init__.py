@@ -26,6 +26,8 @@ Quickstart::
 from .errors import (
     MappingNotFound,
     SearchBudgetExceeded,
+    SearchCancelled,
+    SearchDeadlineExceeded,
     SearchError,
     SemanticError,
     TransformError,
@@ -65,6 +67,7 @@ from .relational import (
 )
 from .search import (
     ALGORITHM_NAMES,
+    CancelToken,
     MappingProblem,
     SearchConfig,
     SearchResult,
@@ -91,6 +94,8 @@ __version__ = "1.0.0"
 __all__ = [
     "MappingNotFound",
     "SearchBudgetExceeded",
+    "SearchCancelled",
+    "SearchDeadlineExceeded",
     "SearchError",
     "SemanticError",
     "TransformError",
@@ -129,6 +134,7 @@ __all__ = [
     "tnf_decode",
     "tnf_encode",
     "ALGORITHM_NAMES",
+    "CancelToken",
     "MappingProblem",
     "SearchConfig",
     "SearchResult",

@@ -25,6 +25,10 @@ Commands::
     python -m repro trace --inspect FILE
 
     python -m repro info
+
+Exit codes: 0 success, 1 no mapping found, 2 usage / input error,
+3 wall-clock deadline exceeded (``--deadline``; partial statistics were
+still reported).
 """
 
 from __future__ import annotations
@@ -48,7 +52,11 @@ from .obs import (
 )
 from .relational import load_database_dir, save_database, tnf_encode
 from .search import ALGORITHM_NAMES, SearchConfig, discover_mapping
+from .search.result import STATUS_DEADLINE_EXCEEDED
 from .semantics import builtin_registry, decode_correspondence
+
+#: process exit code for a deadline-cut search (distinct from "not found")
+EXIT_DEADLINE_EXCEEDED = 3
 
 
 def _parse_correspondence_arg(text: str):
@@ -96,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--k", type=float, default=None, help="scaling constant")
     discover.add_argument(
         "--budget", type=int, default=1_000_000, help="max states examined"
+    )
+    discover.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; a cut run reports partial stats and "
+        f"exits {EXIT_DEADLINE_EXCEEDED}",
     )
     discover.add_argument(
         "--correspondence",
@@ -149,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--k", type=float, default=None, help="scaling constant")
     experiments.add_argument(
         "--budget", type=int, default=1_000_000, help="max states per point"
+    )
+    experiments.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock deadline; cut points land with status "
+        "deadline_exceeded and partial counters",
     )
     experiments.add_argument(
         "--workers",
@@ -272,7 +296,9 @@ def cmd_discover(args: argparse.Namespace) -> int:
             heuristic=args.heuristic,
             k=args.k,
             correspondences=correspondences,
-            config=SearchConfig(max_states=args.budget),
+            config=SearchConfig(
+                max_states=args.budget, deadline_seconds=args.deadline
+            ),
             tracer=tracer,
         )
     finally:
@@ -285,6 +311,13 @@ def cmd_discover(args: argparse.Namespace) -> int:
     )
     if args.trace:
         print(f"trace written to {args.trace}")
+    if result.deadline_exceeded:
+        print(
+            f"deadline of {args.deadline:g}s cut the search at frontier "
+            f"depth {result.frontier_depth}",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE_EXCEEDED
     if not result.found:
         return 1
     print()
@@ -312,13 +345,20 @@ def _discover_portfolio(args, source, target, correspondences) -> int:
         heuristic=args.heuristic,
         k=args.k,
         correspondences=correspondences,
-        config=SearchConfig(max_states=args.budget),
+        config=SearchConfig(
+            max_states=args.budget, deadline_seconds=args.deadline
+        ),
         trace_dir=args.trace,
     )
     print(race_table(race))
     if args.trace:
         print(f"per-arm traces written under {args.trace}")
     if not race.found:
+        if (
+            race.result is not None
+            and race.result.status == STATUS_DEADLINE_EXCEEDED
+        ):
+            return EXIT_DEADLINE_EXCEEDED
         return 1
     result = race.result
     print()
@@ -357,6 +397,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             trace_dir=args.trace_dir,
             workers=args.workers,
             start_method=args.start_method,
+            deadline_seconds=args.deadline,
         )
         for algorithm in algorithms
     ]
@@ -375,6 +416,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
                 "sizes": list(args.sizes),
                 "budget": args.budget,
                 "workers": args.workers,
+                "deadline": args.deadline,
             },
         )
         print(f"\nseries archived to {args.output}")

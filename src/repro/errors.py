@@ -130,6 +130,22 @@ class TraceFormatError(ObservabilityError):
     """
 
 
+class TraceWriteError(ObservabilityError):
+    """A sink failed to persist an event record (disk full, fd revoked).
+
+    :class:`repro.obs.sinks.JsonlSink` wraps the underlying ``OSError`` in
+    this type after closing its file handle, so a failed sink is never left
+    half-open.  The tracer catches it, degrades to a
+    :class:`~repro.obs.sinks.NullSink`, and lets the search finish — trace
+    loss is a warning (``resilience.trace_write_errors``), not an abort.
+    """
+
+    def __init__(self, path: str, cause: str) -> None:
+        self.path = str(path)
+        self.cause = cause
+        super().__init__(f"cannot write trace to {path}: {cause}")
+
+
 # ---------------------------------------------------------------------------
 # Search
 # ---------------------------------------------------------------------------
@@ -171,6 +187,40 @@ class SearchBudgetExceeded(SearchError):
         self.states_examined = states_examined
         super().__init__(
             f"search budget of {budget} states exceeded ({states_examined} examined)"
+        )
+
+
+class SearchDeadlineExceeded(SearchError):
+    """The search ran past its wall-clock deadline (cooperatively detected).
+
+    Unlike :class:`SearchBudgetExceeded` (the paper's state-count cut), the
+    deadline bounds *time*: the kernel checks ``perf_counter`` periodically
+    and aborts with partial :class:`~repro.search.stats.SearchStats` intact.
+    """
+
+    def __init__(
+        self, deadline: float, elapsed: float, states_examined: int
+    ) -> None:
+        self.deadline = deadline
+        self.elapsed = elapsed
+        self.states_examined = states_examined
+        super().__init__(
+            f"search deadline of {deadline:g}s exceeded after {elapsed:.3f}s "
+            f"({states_examined} states examined)"
+        )
+
+
+class SearchCancelled(SearchError):
+    """The search observed its :class:`~repro.search.cancel.CancelToken` set.
+
+    Cooperative: raised from the kernel's periodic limit checks, so the
+    stack unwinds cleanly and partial statistics survive.
+    """
+
+    def __init__(self, states_examined: int = 0) -> None:
+        self.states_examined = states_examined
+        super().__init__(
+            f"search cancelled after {states_examined} states examined"
         )
 
 

@@ -18,24 +18,30 @@ from .runner import ExperimentPoint, ExperimentSeries
 FORMAT_VERSION = 1
 
 
+def _point_to_dict(point: ExperimentPoint) -> dict:
+    out = {
+        "x": point.x,
+        "states": point.states,
+        "status": point.status,
+        "expression_size": point.expression_size,
+        "cache_hits": point.cache_hits,
+        "cache_misses": point.cache_misses,
+        "cache_evictions": point.cache_evictions,
+        "elapsed_seconds": point.elapsed_seconds,
+        "trace_path": point.trace_path,
+    }
+    # only deadline-bounded points carry the field, so archives written by
+    # unbounded sweeps stay byte-identical to the historical format
+    if point.deadline_seconds:
+        out["deadline_seconds"] = point.deadline_seconds
+    return out
+
+
 def series_to_dict(series: ExperimentSeries) -> dict:
     """Plain-dict form of one series."""
     return {
         "label": series.label,
-        "points": [
-            {
-                "x": point.x,
-                "states": point.states,
-                "status": point.status,
-                "expression_size": point.expression_size,
-                "cache_hits": point.cache_hits,
-                "cache_misses": point.cache_misses,
-                "cache_evictions": point.cache_evictions,
-                "elapsed_seconds": point.elapsed_seconds,
-                "trace_path": point.trace_path,
-            }
-            for point in series.points
-        ],
+        "points": [_point_to_dict(point) for point in series.points],
     }
 
 
@@ -54,6 +60,7 @@ def series_from_dict(data: Mapping) -> ExperimentSeries:
                 cache_evictions=int(point.get("cache_evictions", 0)),
                 elapsed_seconds=float(point.get("elapsed_seconds", 0.0)),
                 trace_path=str(point.get("trace_path", "")),
+                deadline_seconds=float(point.get("deadline_seconds", 0.0)),
             )
             for point in data["points"]
         ),

@@ -60,6 +60,9 @@ class ExperimentPoint:
         elapsed_seconds: wall-clock time of the search run.
         trace_path: path of the JSONL trace persisted for this point
             (empty when the series ran without ``trace_dir``).
+        deadline_seconds: per-point wall-clock deadline the search ran
+            under (0.0 = unbounded); points with status
+            ``deadline_exceeded`` carry their partial counters.
     """
 
     x: float
@@ -71,6 +74,7 @@ class ExperimentPoint:
     cache_evictions: int = 0
     elapsed_seconds: float = 0.0
     trace_path: str = ""
+    deadline_seconds: float = 0.0
 
     @property
     def found(self) -> bool:
@@ -101,6 +105,7 @@ def _point(x: float, result: SearchResult, trace_path: str = "") -> ExperimentPo
         cache_evictions=result.stats.cache_evictions,
         elapsed_seconds=result.stats.elapsed,
         trace_path=trace_path,
+        deadline_seconds=result.stats.deadline_seconds or 0.0,
     )
 
 
@@ -156,6 +161,7 @@ def run_matching_series(
     metrics: MetricsRegistry | None = None,
     workers: int = 0,
     start_method: str | None = None,
+    deadline_seconds: float | None = None,
 ) -> ExperimentSeries:
     """Experiment 1 (Figs. 5 & 6): synthetic schema matching.
 
@@ -165,7 +171,10 @@ def run_matching_series(
     is how the paper's curves end at the 10^6 cut.  *trace_dir* persists a
     JSONL trace per point; *metrics* aggregates counters across the series.
     With ``workers >= 1`` the sizes shard across a process pool (see the
-    module docstring for the determinism contract).
+    module docstring for the determinism contract).  *deadline_seconds*
+    bounds every point's wall-clock individually; a point that runs out of
+    time lands with status ``deadline_exceeded`` and its partial counters
+    (and, under *stop_after_cutoff*, ends the series like a budget cut).
     """
     label = f"{algorithm}/{heuristic}"
     if workers >= 1:
@@ -183,6 +192,7 @@ def run_matching_series(
                 size=size,
                 trace_path=_trace_path(trace_dir, label, size),
                 collect_metrics=metrics is not None,
+                deadline_seconds=deadline_seconds or 0.0,
             )
             for i, size in enumerate(sizes)
         ]
@@ -192,7 +202,7 @@ def run_matching_series(
         if stop_after_cutoff:
             points = _truncate_after_cutoff(points)
         return ExperimentSeries(label=label, points=tuple(points))
-    config = SearchConfig(max_states=budget)
+    config = SearchConfig(max_states=budget, deadline_seconds=deadline_seconds)
     points = []
     for size in sizes:
         pair = matching_pair(size)
@@ -229,6 +239,7 @@ def run_bamm_domain(
     metrics: MetricsRegistry | None = None,
     workers: int = 0,
     start_method: str | None = None,
+    deadline_seconds: float | None = None,
 ) -> ExperimentSeries:
     """Experiment 2 (Figs. 7 & 8): one BAMM domain, fixed source -> targets.
 
@@ -236,7 +247,8 @@ def run_bamm_domain(
     states (the paper reports per-domain averages).  *limit* restricts the
     number of interfaces for quick runs.  ``workers >= 1`` shards the
     interfaces across a process pool (databases ship with the spec — BAMM
-    tasks are generated, not rebuildable from a name).
+    tasks are generated, not rebuildable from a name).  *deadline_seconds*
+    bounds each interface's wall-clock individually.
     """
     tasks = domain.tasks[:limit] if limit is not None else domain.tasks
     label = f"{algorithm}/{heuristic}/{domain.name}"
@@ -256,6 +268,7 @@ def run_bamm_domain(
                 target=task.target,
                 trace_path=_trace_path(trace_dir, label, task.interface_id),
                 collect_metrics=metrics is not None,
+                deadline_seconds=deadline_seconds or 0.0,
             )
             for i, task in enumerate(tasks)
         ]
@@ -263,7 +276,7 @@ def run_bamm_domain(
             specs, workers, start_method=start_method, metrics=metrics
         )
         return ExperimentSeries(label=label, points=tuple(points))
-    config = SearchConfig(max_states=budget)
+    config = SearchConfig(max_states=budget, deadline_seconds=deadline_seconds)
     points = []
     for task in tasks:
         tracer, trace_path = _trace_sink(trace_dir, label, task.interface_id)
@@ -322,13 +335,15 @@ def run_semantic_series(
     metrics: MetricsRegistry | None = None,
     workers: int = 0,
     start_method: str | None = None,
+    deadline_seconds: float | None = None,
 ) -> ExperimentSeries:
     """Experiment 3 (Fig. 9): states vs number of complex functions.
 
     ``workers >= 1`` shards the function counts across a process pool when
     the domain's function registry has a named provider (the registry
     itself holds callables and cannot cross a process line); unknown
-    domains fall back to the serial sweep.
+    domains fall back to the serial sweep.  *deadline_seconds* bounds each
+    point's wall-clock individually.
     """
     label = f"{algorithm}/{heuristic}/{domain.name}"
     if workers >= 1:
@@ -360,6 +375,7 @@ def run_semantic_series(
                         registry_provider=domain.name,
                         trace_path=_trace_path(trace_dir, label, n),
                         collect_metrics=metrics is not None,
+                        deadline_seconds=deadline_seconds or 0.0,
                     )
                 )
             points = run_experiment_points(
@@ -368,7 +384,7 @@ def run_semantic_series(
             if stop_after_cutoff:
                 points = _truncate_after_cutoff(points)
             return ExperimentSeries(label=label, points=tuple(points))
-    config = SearchConfig(max_states=budget)
+    config = SearchConfig(max_states=budget, deadline_seconds=deadline_seconds)
     points = []
     for n in counts:
         if n > domain.max_functions:

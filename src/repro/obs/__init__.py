@@ -21,6 +21,8 @@ from .events import (
     CACHE_HIT,
     CACHE_MISS,
     CACHE_NAMES,
+    CANCELLED,
+    DEADLINE_EXCEEDED,
     ENVELOPE_FIELDS,
     EVENT_FIELDS,
     EVENT_TYPES,
@@ -62,6 +64,8 @@ __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_NAMES",
+    "CANCELLED",
+    "DEADLINE_EXCEEDED",
     "ENVELOPE_FIELDS",
     "EVENT_FIELDS",
     "EVENT_TYPES",

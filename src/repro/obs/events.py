@@ -52,10 +52,17 @@ PRUNE = "prune"
 SOLUTION = "solution"
 #: the state budget was exhausted; the run aborts
 BUDGET_EXCEEDED = "budget_exceeded"
+#: the wall-clock deadline was exceeded; the run aborts with partial stats
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: the run's CancelToken was observed set; the run unwinds cooperatively
+CANCELLED = "cancelled"
 #: the run is over; payload carries the final SearchStats snapshot
 SEARCH_END = "search_end"
 
-#: every event type a trace may contain, in rough lifecycle order
+#: every event type a trace may contain, in rough lifecycle order.
+#: (Additions here are backwards-compatible — new event types extend the
+#: taxonomy without changing the meaning of existing records, so they do
+#: not bump SCHEMA_VERSION.)
 EVENT_TYPES: tuple[str, ...] = (
     TRACE_HEADER,
     SEARCH_START,
@@ -68,6 +75,8 @@ EVENT_TYPES: tuple[str, ...] = (
     PRUNE,
     SOLUTION,
     BUDGET_EXCEEDED,
+    DEADLINE_EXCEEDED,
+    CANCELLED,
     SEARCH_END,
 )
 
@@ -87,6 +96,8 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     PRUNE: ("reason",),
     SOLUTION: ("size",),
     BUDGET_EXCEEDED: ("budget", "examined"),
+    DEADLINE_EXCEEDED: ("deadline", "elapsed", "examined"),
+    CANCELLED: ("examined",),
     SEARCH_END: ("status",),
 }
 

@@ -160,6 +160,14 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._instruments)
 
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Counter values (only), optionally filtered by name prefix."""
+        return {
+            name: instrument.value
+            for name, instrument in sorted(self._instruments.items())
+            if isinstance(instrument, Counter) and name.startswith(prefix)
+        }
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 

@@ -15,8 +15,14 @@ import logging
 from pathlib import Path
 from typing import IO, Mapping
 
+from ..errors import TraceWriteError
+from ..resilience.faults import inject
+
 #: stdlib logger the LoggingSink bridges to
 TRACE_LOGGER_NAME = "repro.obs.trace"
+
+#: fault-injection site guarding every JsonlSink record write
+SITE_SINK_WRITE = "sink.write"
 
 
 class Sink:
@@ -73,6 +79,14 @@ class JsonlSink(Sink):
     unwritable path fails fast with ``OSError`` before any search runs.
     Lines rely on normal file buffering; :meth:`close` flushes.  Long runs
     can therefore stream millions of events without holding them in memory.
+
+    A write that fails *mid-run* (disk full, fd revoked) raises
+    :class:`~repro.errors.TraceWriteError` after closing the handle, so a
+    broken sink is never left half-open and a retry can never interleave a
+    torn line.  :meth:`close` is idempotent and exception-safe: the handle
+    is detached before ``close()`` is attempted, and a flush-time
+    ``OSError`` is swallowed — the trace is already lost, and close runs
+    on unwind paths that must not mask the original failure.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -91,13 +105,23 @@ class JsonlSink(Sink):
 
     def write(self, record: Mapping) -> None:
         if self._fh is None:
-            raise ValueError(f"JsonlSink({self.path}) is closed")
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            raise TraceWriteError(str(self.path), "sink is closed")
+        try:
+            inject(SITE_SINK_WRITE, key=str(self.path))
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError as exc:
+            self.close()
+            raise TraceWriteError(
+                str(self.path), f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:  # flush failure on a dying fd; trace already lost
+                pass
 
 
 class LoggingSink(Sink):

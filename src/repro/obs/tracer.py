@@ -26,7 +26,8 @@ import json
 from pathlib import Path
 from time import perf_counter
 
-from ..errors import TraceFormatError
+from ..errors import TraceFormatError, TraceWriteError
+from ..resilience.runtime import resilience_warning
 from .events import SCHEMA_VERSION, TRACE_HEADER, validate_events
 from .sinks import JsonlSink, MemorySink, NullSink, Sink
 
@@ -37,15 +38,24 @@ class Tracer:
     Args:
         sink: event destination; defaults to a :class:`NullSink`, which
             makes :attr:`enabled` False and every :meth:`emit` a no-op.
+
+    A sink that fails mid-run (:class:`~repro.errors.TraceWriteError` or a
+    raw ``OSError`` from a custom sink) does not abort the search: the
+    tracer *degrades* — closes the broken sink, swaps in a
+    :class:`NullSink`, disables itself, and records one
+    ``resilience.trace_write_errors`` warning.  The run finishes untraced;
+    :attr:`degraded_reason` says why.
     """
 
-    __slots__ = ("sink", "enabled", "seq", "_t0")
+    __slots__ = ("sink", "enabled", "seq", "_t0", "degraded_reason")
 
     def __init__(self, sink: Sink | None = None) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.enabled = self.sink.enabled
         self.seq = 0
         self._t0 = perf_counter()
+        #: set to the failure description if the tracer degraded mid-run
+        self.degraded_reason: str | None = None
 
     def emit(self, event: str, **payload: object) -> None:
         """Record one event (no-op when the sink is disabled)."""
@@ -59,11 +69,28 @@ class Tracer:
         }
         if payload:
             record.update(payload)
-        self.sink.write(record)
+        try:
+            self.sink.write(record)
+        except (TraceWriteError, OSError) as exc:
+            self._degrade(exc)
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Swap the broken sink for a NullSink and keep the run alive."""
+        self.degraded_reason = f"{type(exc).__name__}: {exc}"
+        resilience_warning("trace_write_errors", self.degraded_reason)
+        try:
+            self.sink.close()
+        except (TraceWriteError, OSError):  # already broken; nothing to save
+            pass
+        self.sink = NullSink()
+        self.enabled = False
 
     def close(self) -> None:
-        """Close the underlying sink."""
-        self.sink.close()
+        """Close the underlying sink (exception-safe on broken sinks)."""
+        try:
+            self.sink.close()
+        except (TraceWriteError, OSError):
+            pass
 
     def __enter__(self) -> "Tracer":
         return self

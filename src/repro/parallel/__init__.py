@@ -30,7 +30,9 @@ from .pool import (
     worker_trace_path,
 )
 from .portfolio import (
+    DEFAULT_CANCEL_GRACE,
     DEFAULT_PORTFOLIO,
+    DEFAULT_TERMINATE_GRACE,
     ArmReport,
     PortfolioResult,
     discover_mapping_portfolio,
@@ -54,7 +56,9 @@ __all__ = [
     "strided_chunks",
     "supports_start_method",
     "worker_trace_path",
+    "DEFAULT_CANCEL_GRACE",
     "DEFAULT_PORTFOLIO",
+    "DEFAULT_TERMINATE_GRACE",
     "ArmReport",
     "PortfolioResult",
     "discover_mapping_portfolio",

@@ -30,14 +30,20 @@ Design decisions, in the order they matter:
   :func:`normalize_series` zero the volatile fields so archives from serial
   and parallel runs can be compared byte-for-byte.
 * **Graceful degradation.**  If process pools are unavailable (ImportError,
-  fork failure, broken pool mid-run) the same chunks run serially in this
-  process — identical results, no parallelism, no crash.
+  fork failure, broken pool mid-run, unpicklable payloads) the same chunks
+  run serially in this process — identical results, no parallelism, no
+  crash.  Transient pool failures are retried first
+  (:func:`~repro.resilience.runtime.retry_call`, bounded with
+  deterministic jittered backoff); every degradation records a
+  ``resilience.*`` counter in the process-global registry, never in the
+  caller's *metrics* (which must stay bit-identical to a healthy run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import lru_cache
+from pickle import PicklingError
 from typing import Sequence
 
 from ..experiments.runner import ExperimentPoint, ExperimentSeries, _point
@@ -45,6 +51,8 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import JsonlSink
 from ..obs.tracer import Tracer
 from ..relational.database import Database
+from ..resilience.faults import enter_worker, inject
+from ..resilience.runtime import resilience_warning, retry_call
 from ..search.config import SearchConfig
 from ..search.engine import discover_mapping
 from ..semantics.correspondence import Correspondence
@@ -55,6 +63,14 @@ from .providers import resolve_registry
 KIND_MATCHING = "matching"
 KIND_DATABASES = "databases"
 KIND_SEMANTIC = "semantic"
+
+#: fault-injection sites (see repro.resilience.faults)
+SITE_FANOUT_POOL = "fanout.pool"  #: parent, before the pool spins up
+SITE_FANOUT_SUBMIT = "fanout.submit"  #: parent, as chunks are submitted
+SITE_FANOUT_WORKER = "fanout.worker"  #: worker, on chunk entry
+
+#: pool attempts beyond the first before degrading to serial
+POOL_RETRIES = 2
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,9 @@ class PointSpec:
             rewrites it with the worker marker before dispatch.
         collect_metrics: record this point into the chunk's local
             :class:`~repro.obs.metrics.MetricsRegistry` for merging.
+        deadline_seconds: per-point wall-clock deadline (0.0 = unbounded);
+            each worker enforces it cooperatively inside its own search,
+            so one slow point cannot starve the rest of the chunk.
     """
 
     index: int
@@ -94,6 +113,7 @@ class PointSpec:
     registry_provider: str | None = None
     trace_path: str = ""
     collect_metrics: bool = False
+    deadline_seconds: float = 0.0
 
 
 @lru_cache(maxsize=64)
@@ -130,7 +150,10 @@ def _execute_spec(spec: PointSpec, metrics: MetricsRegistry | None) -> Experimen
             k=spec.k,
             correspondences=correspondences,
             registry=registry,
-            config=SearchConfig(max_states=spec.budget),
+            config=SearchConfig(
+                max_states=spec.budget,
+                deadline_seconds=spec.deadline_seconds or None,
+            ),
             simplify=False,
             tracer=tracer,
             metrics=metrics,
@@ -155,6 +178,20 @@ def _run_chunk(
     for spec in specs:
         out.append((spec.index, _execute_spec(spec, metrics)))
     return out, metrics
+
+
+def _run_chunk_pooled(
+    specs: Sequence[PointSpec],
+) -> tuple[list[tuple[int, ExperimentPoint]], MetricsRegistry | None]:
+    """Pool-dispatched chunk entry: arm worker-scope faults, then run.
+
+    ``enter_worker()`` marks this process so ``scope="worker"`` fault specs
+    fire here but *not* during a serial fallback re-run in the parent —
+    otherwise an injected worker crash would take the parent down with it.
+    """
+    enter_worker()
+    inject(SITE_FANOUT_WORKER, key=f"chunk{specs[0].index}" if specs else None)
+    return _run_chunk(specs)
 
 
 def _mark_worker_traces(chunks: list[list[PointSpec]]) -> list[list[PointSpec]]:
@@ -185,26 +222,46 @@ def run_experiment_points(
     Metrics observed by workers merge into *metrics* in chunk order
     (commutative adds, so ordering cannot change totals).
 
-    Degrades to serial in-process execution when pools are unavailable or
-    a pool breaks mid-run; an explicitly invalid *start_method* raises.
+    Degrades to serial in-process execution when pools are unavailable,
+    break mid-run (retried up to :data:`POOL_RETRIES` times first — the
+    chunks are side-effect-idempotent, so a full redo is safe), or the
+    payload fails to pickle; every degradation records a ``resilience.*``
+    counter.  An explicitly invalid *start_method* still raises.
     """
     if not specs:
         return []
     chunks = _mark_worker_traces(strided_chunks(list(specs), max(1, workers)))
-    executor = try_executor(len(chunks), start_method) if workers >= 1 else None
-    outcomes: list[tuple[list[tuple[int, ExperimentPoint]], MetricsRegistry | None]]
-    if executor is None:
-        outcomes = [_run_chunk(chunk) for chunk in chunks]
-    else:
+    outcomes: (
+        list[tuple[list[tuple[int, ExperimentPoint]], MetricsRegistry | None]] | None
+    ) = None
+    if workers >= 1:
         from concurrent.futures.process import BrokenProcessPool
 
-        try:
+        def _pooled():
+            inject(SITE_FANOUT_POOL)
+            executor = try_executor(len(chunks), start_method)
+            if executor is None:
+                return None  # pool machinery unavailable on this platform
             with executor:
-                outcomes = list(executor.map(_run_chunk, chunks))
-        except (BrokenProcessPool, OSError):
-            # pool died under us (fork refusal, OOM-killed worker): the
-            # chunks are side-effect-idempotent, so redo them serially
-            outcomes = [_run_chunk(chunk) for chunk in chunks]
+                inject(SITE_FANOUT_SUBMIT)
+                return list(executor.map(_run_chunk_pooled, chunks))
+
+        try:
+            outcomes = retry_call(
+                _pooled,
+                site=SITE_FANOUT_POOL,
+                retries=POOL_RETRIES,
+                retry_on=(BrokenProcessPool, OSError),
+            )
+        except (BrokenProcessPool, OSError, PicklingError) as exc:
+            resilience_warning(
+                "parallel_degraded", f"{type(exc).__name__}: {exc}"
+            )
+            outcomes = None
+        if outcomes is None:
+            resilience_warning("serial_fallbacks", f"{len(chunks)} chunk(s)")
+    if outcomes is None:
+        outcomes = [_run_chunk(chunk) for chunk in chunks]
     indexed: list[tuple[int, ExperimentPoint]] = []
     for chunk_points, chunk_metrics in outcomes:
         indexed.extend(chunk_points)

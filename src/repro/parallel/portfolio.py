@@ -15,8 +15,14 @@ the first *verified* mapping, cancelling the losers mid-search.
   (applies the expression to the source and checks target containment),
   and the parent re-verifies before declaring a winner — a corrupted or
   unsound arm cannot win the race;
-* losers are terminated the moment a verified mapping arrives (true
-  cancellation, not cooperative polling — these are CPU-bound searches);
+* losers are cancelled the moment a verified mapping arrives, gently
+  first and forcibly after: each arm carries a
+  :class:`~repro.search.cancel.CancelToken` backed by a shared
+  ``multiprocessing.Event``, so a losing arm usually unwinds cooperatively
+  within *cancel_grace* and reports its partial ``SearchStats``; whatever
+  is still alive after that is ``terminate()``d, then ``kill()``ed after
+  *terminate_grace*, then joined — the parent never leaks a child
+  process, even for an arm stuck in native code;
 * per-arm :class:`~repro.search.stats.SearchStats` come back as plain
   dicts and are published into a caller-supplied
   :class:`~repro.obs.metrics.MetricsRegistry` under ``portfolio.<arm>.*``,
@@ -45,6 +51,9 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import JsonlSink
 from ..obs.tracer import Tracer
 from ..relational.database import Database
+from ..resilience.faults import enter_worker, inject
+from ..resilience.runtime import resilience_warning
+from ..search.cancel import CancelToken
 from ..search.config import SearchConfig
 from ..search.engine import ALGORITHM_NAMES, discover_mapping
 from ..search.result import STATUS_FOUND, SearchResult
@@ -62,6 +71,16 @@ _DRAIN_GRACE = 2.0
 
 #: queue poll interval while the race is live
 _POLL_INTERVAL = 0.1
+
+#: default seconds losers get to unwind cooperatively before terminate()
+DEFAULT_CANCEL_GRACE = 1.0
+
+#: default seconds a terminated child gets to die before kill()
+DEFAULT_TERMINATE_GRACE = 5.0
+
+#: fault-injection sites (see repro.resilience.faults)
+SITE_PORTFOLIO_SPAWN = "portfolio.spawn"  #: parent, before arms start
+SITE_PORTFOLIO_ARM = "portfolio.arm"  #: child, on arm entry (key = arm name)
 
 ARM_STATUS_ERROR = "error"
 ARM_STATUS_CANCELLED = "cancelled"
@@ -158,6 +177,7 @@ def _run_arm(
     config: SearchConfig,
     simplify: bool,
     trace_path: str,
+    cancel: CancelToken | None = None,
 ) -> dict:
     """Run one arm to completion and summarise it as a picklable dict."""
     registry = resolve_registry(registry_provider)
@@ -175,6 +195,7 @@ def _run_arm(
             simplify=simplify,
             tracer=tracer,
             metrics=None,
+            cancel=cancel,
         )
     finally:
         if tracer is not None:
@@ -194,11 +215,20 @@ def _run_arm(
     }
 
 
-def _race_arm(out_queue, kwargs: dict) -> None:
-    """Child-process entry point: run the arm, report, never raise."""
+def _race_arm(out_queue, kwargs: dict, cancel_event=None) -> None:
+    """Child-process entry point: run the arm, report, never raise.
+
+    *cancel_event* is the arm's shared ``multiprocessing.Event``; wrapped
+    in a :class:`CancelToken`, it lets the parent unwind this arm
+    cooperatively (status ``"cancelled"``, partial stats intact) instead
+    of terminating it blind.
+    """
     arm = kwargs.get("arm", "?")
     try:
-        out_queue.put(_run_arm(**kwargs))
+        enter_worker()
+        inject(SITE_PORTFOLIO_ARM, key=arm)
+        token = CancelToken(cancel_event) if cancel_event is not None else None
+        out_queue.put(_run_arm(**kwargs, cancel=token))
     except BaseException as err:  # noqa: BLE001 - crash must become a report
         out_queue.put(
             {
@@ -252,8 +282,15 @@ def _result_from_payload(payload: Mapping, config: SearchConfig) -> SearchResult
 
 
 #: preference order when no arm found a mapping: a definitive "not found"
-#: beats a budget cut, which beats a crash
-_STATUS_RANK = {"not_found": 0, "budget_exceeded": 1, ARM_STATUS_ERROR: 2}
+#: beats a budget cut, beats a deadline cut, beats a cancelled partial,
+#: beats a crash
+_STATUS_RANK = {
+    "not_found": 0,
+    "budget_exceeded": 1,
+    "deadline_exceeded": 2,
+    ARM_STATUS_CANCELLED: 3,
+    ARM_STATUS_ERROR: 4,
+}
 
 
 def _pick_best(payloads: "dict[str, Mapping]", arms: Sequence[str]) -> Mapping | None:
@@ -263,7 +300,7 @@ def _pick_best(payloads: "dict[str, Mapping]", arms: Sequence[str]) -> Mapping |
         return None
     return min(
         candidates,
-        key=lambda p: (_STATUS_RANK.get(p["status"], 3),),
+        key=lambda p: (_STATUS_RANK.get(p["status"], 5),),
     )
 
 
@@ -297,6 +334,9 @@ def discover_mapping_portfolio(
     trace_dir: str | Path | None = None,
     metrics: MetricsRegistry | None = None,
     timeout: float | None = None,
+    cancel: CancelToken | None = None,
+    cancel_grace: float = DEFAULT_CANCEL_GRACE,
+    terminate_grace: float = DEFAULT_TERMINATE_GRACE,
 ) -> PortfolioResult:
     """Race the algorithm portfolio on one problem; first verified win takes all.
 
@@ -308,7 +348,8 @@ def discover_mapping_portfolio(
         correspondences: declared complex correspondences (§4).
         registry_provider: named registry factory resolved *inside each
             worker* (see :mod:`repro.parallel.providers`); None = built-ins.
-        config: shared :class:`SearchConfig` (budget etc.).
+        config: shared :class:`SearchConfig` (budget, per-arm
+            ``deadline_seconds``, ...).
         simplify: post-simplify the winning expression (done in the worker).
         parallel: False forces the serial in-process fallback.
         start_method: multiprocessing start method override.
@@ -317,6 +358,12 @@ def discover_mapping_portfolio(
             ``portfolio.<arm>.*`` plus the race-level counters.
         timeout: overall race budget in seconds; on expiry the remaining
             arms are cancelled and the best finished arm is reported.
+        cancel: caller-level :class:`CancelToken`; setting it mid-race
+            cancels every arm (no winner is declared after it is seen).
+        cancel_grace: seconds losers get to unwind cooperatively (report
+            partial stats) before being ``terminate()``d.
+        terminate_grace: seconds a terminated child gets to exit before
+            escalation to ``kill()``.
 
     Returns:
         A :class:`PortfolioResult`; ``result.result.expression`` is the
@@ -354,16 +401,32 @@ def discover_mapping_portfolio(
         if resolved_method is not None:
             context = get_context(resolved_method)
     if context is None:
-        outcome = _race_serial(arms, arm_kwargs, source, target, registry_provider)
+        outcome = _race_serial(
+            arms, arm_kwargs, source, target, registry_provider, cancel
+        )
         mode, resolved_method = "serial", None
     else:
         try:
             outcome = _race_processes(
-                context, arms, arm_kwargs, source, target, registry_provider, timeout
+                context,
+                arms,
+                arm_kwargs,
+                source,
+                target,
+                registry_provider,
+                timeout,
+                cancel,
+                cancel_grace,
+                terminate_grace,
             )
             mode = "process"
-        except POOL_UNAVAILABLE_ERRORS:
-            outcome = _race_serial(arms, arm_kwargs, source, target, registry_provider)
+        except POOL_UNAVAILABLE_ERRORS as exc:
+            resilience_warning(
+                "portfolio_degraded", f"{type(exc).__name__}: {exc}"
+            )
+            outcome = _race_serial(
+                arms, arm_kwargs, source, target, registry_provider, cancel
+            )
             mode, resolved_method = "serial", None
     winner, payloads, reports = outcome
 
@@ -399,17 +462,22 @@ def _race_serial(
     source: Database,
     target: Database,
     registry_provider: str | None,
+    cancel: CancelToken | None = None,
 ) -> tuple[str | None, dict, list[ArmReport]]:
-    """In-process fallback: run arms in order, stop at first verified win."""
+    """In-process fallback: run arms in order, stop at first verified win.
+
+    The caller's *cancel* token threads into every arm (cooperative
+    unwind mid-search) and is checked between arms (skip the rest).
+    """
     payloads: dict[str, Mapping] = {}
     reports: list[ArmReport] = []
     winner: str | None = None
     for arm in arms:
-        if winner is not None:
+        if winner is not None or (cancel is not None and cancel.cancelled):
             reports.append(ArmReport(arm=arm, status=ARM_STATUS_CANCELLED))
             continue
         try:
-            payload = _run_arm(**arm_kwargs(arm))
+            payload = _run_arm(**arm_kwargs(arm), cancel=cancel)
         except Exception as err:  # noqa: BLE001 - match process-mode isolation
             payload = {
                 "arm": arm,
@@ -431,6 +499,49 @@ def _race_serial(
     return winner, payloads, reports
 
 
+def _reap_processes(processes: Mapping[str, object], terminate_grace: float) -> int:
+    """Escalation ladder for still-live children: terminate -> kill -> join.
+
+    Every live child is ``terminate()``d, given *terminate_grace* seconds
+    collectively to exit, then ``kill()``ed (SIGKILL cannot be blocked)
+    and joined — so the parent reaps every child and leaks no zombies.
+    A needed kill records ``resilience.portfolio_kills``; a child that
+    somehow survives even that records ``resilience.leaked_processes``.
+
+    Returns the number of children that needed ``kill()``.
+    """
+    for process in processes.values():
+        if process.is_alive():
+            process.terminate()
+    deadline = perf_counter() + max(0.0, terminate_grace)
+    for process in processes.values():
+        remaining = deadline - perf_counter()
+        process.join(timeout=max(0.05, remaining))
+    kills = 0
+    for arm, process in processes.items():
+        if process.is_alive():
+            kills += 1
+            resilience_warning("portfolio_kills", arm)
+            process.kill()
+    for arm, process in processes.items():
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - SIGKILL cannot be blocked
+            resilience_warning("leaked_processes", arm)
+    return kills
+
+
+def _crash_payload(arm: str, process) -> dict:
+    return {
+        "arm": arm,
+        "status": ARM_STATUS_ERROR,
+        "verified": False,
+        "operators": None,
+        "stats": {},
+        "trace_path": "",
+        "error": f"worker exited with code {process.exitcode} before reporting",
+    }
+
+
 def _race_processes(
     context,
     arms: Sequence[str],
@@ -439,13 +550,27 @@ def _race_processes(
     target: Database,
     registry_provider: str | None,
     timeout: float | None,
+    cancel: CancelToken | None = None,
+    cancel_grace: float = DEFAULT_CANCEL_GRACE,
+    terminate_grace: float = DEFAULT_TERMINATE_GRACE,
 ) -> tuple[str | None, dict, list[ArmReport]]:
-    """Race arms across child processes; terminate losers on first win."""
+    """Race arms across child processes; cancel losers on first win.
+
+    Loser teardown is staged: cooperative cancel (per-arm Event, drained
+    for up to *cancel_grace* so losers report partial stats), then
+    :func:`_reap_processes` (terminate -> kill -> join).  The queue's
+    feeder thread is shut down explicitly on exit, so the parent holds no
+    queue resources after the race either.
+    """
+    inject(SITE_PORTFOLIO_SPAWN)
     out_queue = context.Queue()
+    cancel_events = {arm: context.Event() for arm in arms}
     processes = {}
     for arm in arms:
         process = context.Process(
-            target=_race_arm, args=(out_queue, arm_kwargs(arm)), daemon=True
+            target=_race_arm,
+            args=(out_queue, arm_kwargs(arm), cancel_events[arm]),
+            daemon=True,
         )
         processes[arm] = process
         process.start()
@@ -458,6 +583,8 @@ def _race_processes(
     try:
         while pending:
             if deadline is not None and perf_counter() > deadline:
+                break
+            if cancel is not None and cancel.cancelled:
                 break
             try:
                 payload = out_queue.get(timeout=_POLL_INTERVAL)
@@ -472,16 +599,8 @@ def _race_processes(
                     first_seen = grace.setdefault(arm, now)
                     if now - first_seen >= _DRAIN_GRACE:
                         pending.discard(arm)
-                        payloads[arm] = {
-                            "arm": arm,
-                            "status": ARM_STATUS_ERROR,
-                            "verified": False,
-                            "operators": None,
-                            "stats": {},
-                            "trace_path": "",
-                            "error": f"worker exited with code {process.exitcode} "
-                            "before reporting",
-                        }
+                        resilience_warning("worker_crashes", arm)
+                        payloads[arm] = _crash_payload(arm, process)
                 continue
             arm = payload.get("arm")
             if arm not in pending:
@@ -496,12 +615,29 @@ def _race_processes(
                 winner = arm
                 break
     finally:
-        for arm, process in processes.items():
-            if process.is_alive():
-                process.terminate()
-        for process in processes.values():
-            process.join(timeout=5.0)
+        # stage 1 — cooperative: flip every pending arm's cancel event and
+        # drain their partial-stats reports until they exit or grace runs out
+        for arm in pending:
+            cancel_events[arm].set()
+        drain_deadline = perf_counter() + max(0.0, cancel_grace)
+        while pending and perf_counter() < drain_deadline:
+            try:
+                payload = out_queue.get(timeout=min(_POLL_INTERVAL, 0.05))
+            except queue_mod.Empty:
+                if not any(processes[arm].is_alive() for arm in pending):
+                    break
+                continue
+            arm = payload.get("arm")
+            if arm in pending:
+                pending.discard(arm)
+                payloads[arm] = payload
+        # stage 2 — forcible: terminate -> kill -> join whatever remains
+        _reap_processes(processes, terminate_grace)
+        # the parent never put() to this queue, so cancelling the feeder
+        # thread cannot drop parent data; close() + cancel_join_thread()
+        # guarantees queue teardown never blocks process exit
         out_queue.close()
+        out_queue.cancel_join_thread()
 
     reports: list[ArmReport] = []
     for arm in arms:

@@ -2,6 +2,7 @@
 
 from .beam import DEFAULT_BEAM_WIDTH, beam_search, make_beam
 from .best_first import a_star, greedy
+from .cancel import CancelToken
 from .config import OPERATOR_FAMILIES, SearchConfig
 from .engine import ALGORITHM_NAMES, ALGORITHMS, Tupelo, discover_mapping
 from .ida import ida_star
@@ -10,11 +11,14 @@ from .rbfs import rbfs
 from .simplify import simplify_expression
 from .result import (
     STATUS_BUDGET_EXCEEDED,
+    STATUS_CANCELLED,
+    STATUS_DEADLINE_EXCEEDED,
     STATUS_FOUND,
+    STATUS_NAMES,
     STATUS_NOT_FOUND,
     SearchResult,
 )
-from .stats import SearchStats
+from .stats import LIMIT_CHECK_EVERY, SearchStats
 
 __all__ = [
     "a_star",
@@ -22,6 +26,7 @@ __all__ = [
     "beam_search",
     "make_beam",
     "greedy",
+    "CancelToken",
     "OPERATOR_FAMILIES",
     "SearchConfig",
     "ALGORITHM_NAMES",
@@ -29,11 +34,15 @@ __all__ = [
     "Tupelo",
     "discover_mapping",
     "ida_star",
+    "LIMIT_CHECK_EVERY",
     "MappingProblem",
     "rbfs",
     "simplify_expression",
     "STATUS_BUDGET_EXCEEDED",
+    "STATUS_CANCELLED",
+    "STATUS_DEADLINE_EXCEEDED",
     "STATUS_FOUND",
+    "STATUS_NAMES",
     "STATUS_NOT_FOUND",
     "SearchResult",
     "SearchStats",

@@ -54,6 +54,13 @@ class SearchConfig:
             the transposition table, the goal-verdict table, and the
             heuristic estimate cache.  ``None`` means unbounded, trading the
             algorithms' linear-memory guarantee for maximum reuse.
+        deadline_seconds: optional wall-clock deadline for the run.  The
+            kernel checks ``perf_counter`` cooperatively (every few
+            examinations plus once per successor expansion — see
+            ``docs/robustness.md``) and aborts with a ``deadline_exceeded``
+            result carrying the partial
+            :class:`~repro.search.stats.SearchStats`.  ``None`` (default)
+            reproduces the paper's run-to-budget behaviour exactly.
     """
 
     max_states: int = 1_000_000
@@ -65,6 +72,7 @@ class SearchConfig:
     max_depth: int | None = None
     cache_successors: bool = True
     cache_capacity: int | None = None
+    deadline_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_states < 1:
@@ -80,6 +88,11 @@ class SearchConfig:
         if self.cache_capacity is not None and self.cache_capacity < 1:
             raise ValueError(
                 f"cache_capacity must be positive or None, got {self.cache_capacity}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive or None, "
+                f"got {self.deadline_seconds}"
             )
 
     def allows(self, family: str) -> bool:

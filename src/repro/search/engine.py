@@ -13,6 +13,8 @@ from typing import Callable, Sequence
 from ..errors import (
     MappingNotFound,
     SearchBudgetExceeded,
+    SearchCancelled,
+    SearchDeadlineExceeded,
     UnknownAlgorithmError,
 )
 from ..fira.base import Operator
@@ -27,11 +29,14 @@ from ..semantics.correspondence import Correspondence
 from ..semantics.functions import FunctionRegistry
 from .beam import beam_search
 from .best_first import a_star, greedy
+from .cancel import CancelToken
 from .config import SearchConfig
 from .ida import ida_star
 from .problem import MappingProblem
 from .result import (
     STATUS_BUDGET_EXCEEDED,
+    STATUS_CANCELLED,
+    STATUS_DEADLINE_EXCEEDED,
     STATUS_FOUND,
     STATUS_NOT_FOUND,
     SearchResult,
@@ -66,6 +71,7 @@ def discover_mapping(
     simplify: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cancel: CancelToken | None = None,
 ) -> SearchResult:
     """Discover a mapping expression from *source* to *target*.
 
@@ -89,18 +95,33 @@ def discover_mapping(
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
             distribution histograms fill during the run and the final
             counters are published into it.
+        cancel: optional :class:`~repro.search.cancel.CancelToken`; setting
+            it (from any thread, or across a process boundary when
+            event-backed) makes the search unwind cooperatively with a
+            ``cancelled`` result carrying the partial stats.
 
     Returns:
         A :class:`SearchResult`; check ``result.found`` / ``result.status``.
+        A run bounded by ``config.deadline_seconds`` that runs out of time
+        returns status ``deadline_exceeded`` with intact
+        :class:`~repro.search.stats.SearchStats` (states examined, max
+        frontier depth, cache counters, phase timers).
     """
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
         raise UnknownAlgorithmError(algorithm, ALGORITHM_NAMES)
     problem = MappingProblem(
-        source, target, correspondences=correspondences, registry=registry, config=config
+        source,
+        target,
+        correspondences=correspondences,
+        registry=registry,
+        config=config,
+        cancel=cancel,
     )
     h = make_heuristic(heuristic, target, k=k, algorithm=algorithm)
     stats = SearchStats(budget=problem.config.max_states)
+    stats.deadline_seconds = problem.config.deadline_seconds
+    stats.cancel_token = cancel
     if tracer is not None:
         stats.tracer = tracer
     if metrics is not None:
@@ -136,6 +157,10 @@ def discover_mapping(
         status, expression = STATUS_NOT_FOUND, None
     except SearchBudgetExceeded:
         status, expression = STATUS_BUDGET_EXCEEDED, None
+    except SearchDeadlineExceeded:
+        status, expression = STATUS_DEADLINE_EXCEEDED, None
+    except SearchCancelled:
+        status, expression = STATUS_CANCELLED, None
     stats.stop_clock()
     if run_tracer.enabled:
         run_tracer.emit(SEARCH_END, status=status, **stats.as_dict())
@@ -190,11 +215,13 @@ class Tupelo:
         correspondences: Sequence[Correspondence] = (),
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        cancel: CancelToken | None = None,
     ) -> SearchResult:
         """Discover a mapping expression from *source* to *target*.
 
         *tracer* / *metrics* override the engine-level defaults for this
-        one call (pass them to trace a single discovery out of many).
+        one call (pass them to trace a single discovery out of many);
+        *cancel* makes this one call cooperatively cancellable.
         """
         return discover_mapping(
             source,
@@ -208,6 +235,7 @@ class Tupelo:
             simplify=self.simplify,
             tracer=tracer if tracer is not None else self.tracer,
             metrics=metrics if metrics is not None else self.metrics,
+            cancel=cancel,
         )
 
     def __repr__(self) -> str:

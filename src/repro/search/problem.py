@@ -53,12 +53,18 @@ from ..fira.dynamic import (
 from ..fira.renames import RenameAttribute, RenameRelation
 from ..fira.semantic import ApplyFunction
 from ..fira.structure import DropAttribute
-from ..errors import NameCollisionError, OperatorApplicationError, SchemaError
+from ..errors import (
+    NameCollisionError,
+    OperatorApplicationError,
+    SchemaError,
+    SearchCancelled,
+)
 from ..obs.events import CACHE_HIT, CACHE_MISS, GENERATE, GOAL_TEST
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..semantics.correspondence import Correspondence
 from ..semantics.functions import FunctionRegistry, builtin_registry
+from .cancel import CancelToken
 from .config import SearchConfig
 from .stats import SearchStats
 
@@ -90,6 +96,11 @@ class MappingProblem:
         registry: function registry resolving λ symbols; defaults to the
             built-ins.
         config: search knobs (budget, pruning, operator families).
+        cancel: optional :class:`~repro.search.cancel.CancelToken`;
+            :meth:`successors` polls it once per expansion and raises
+            :class:`~repro.errors.SearchCancelled` when set, so even
+            algorithms that examine states in coarse bursts (beam layers)
+            react to cancellation within one expansion.
     """
 
     def __init__(
@@ -99,12 +110,14 @@ class MappingProblem:
         correspondences: Sequence[Correspondence] = (),
         registry: FunctionRegistry | None = None,
         config: SearchConfig | None = None,
+        cancel: CancelToken | None = None,
     ) -> None:
         self.source = source
         self.target = target
         self.correspondences = tuple(correspondences)
         self.registry = registry if registry is not None else builtin_registry()
         self.config = config if config is not None else SearchConfig()
+        self.cancel_token = cancel
         for corr in self.correspondences:
             corr.check_signature(self.registry)
 
@@ -140,6 +153,9 @@ class MappingProblem:
         state["_successor_cache"] = OrderedDict()
         state["_goal_cache"] = OrderedDict()
         state["_interned"] = OrderedDict()
+        # Cancel tokens may wrap process-local synchronisation primitives;
+        # cancellation never crosses a pickle boundary implicitly.
+        state["cancel_token"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -236,7 +252,17 @@ class MappingProblem:
         a hit skips proposal and operator application entirely.
         ``stats.states_generated`` counts successors *delivered*, so it is
         identical with the table on or off.
+
+        Limit checks: each call polls the problem's cancel token and, via
+        *stats*, the wall-clock deadline — one check per expansion keeps
+        every algorithm (including beam's layer-wide bursts) responsive.
         """
+        if self.cancel_token is not None and self.cancel_token.cancelled:
+            raise SearchCancelled(
+                stats.states_examined if stats is not None else 0
+            )
+        if stats is not None:
+            stats.check_limits()
         start = perf_counter()
         tracer = stats.tracer if stats is not None else None
         try:

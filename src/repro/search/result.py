@@ -11,6 +11,17 @@ from .stats import SearchStats
 STATUS_FOUND = "found"
 STATUS_NOT_FOUND = "not_found"
 STATUS_BUDGET_EXCEEDED = "budget_exceeded"
+STATUS_DEADLINE_EXCEEDED = "deadline_exceeded"
+STATUS_CANCELLED = "cancelled"
+
+#: every status a SearchResult may carry
+STATUS_NAMES: tuple[str, ...] = (
+    STATUS_FOUND,
+    STATUS_NOT_FOUND,
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_CANCELLED,
+)
 
 
 @dataclass(frozen=True)
@@ -18,9 +29,11 @@ class SearchResult:
     """Outcome of one mapping-discovery run.
 
     Attributes:
-        status: ``"found"``, ``"not_found"`` (space exhausted), or
+        status: ``"found"``, ``"not_found"`` (space exhausted),
             ``"budget_exceeded"`` (state budget hit, like the paper's 10^6
-            plot cut-offs).
+            plot cut-offs), ``"deadline_exceeded"`` (wall-clock deadline
+            hit; stats carry the partial run), or ``"cancelled"`` (the
+            caller's :class:`~repro.search.cancel.CancelToken` was set).
         expression: the discovered mapping expression (empty pipeline if the
             source already contains the target; None unless found).
         stats: search counters; ``stats.states_examined`` is the paper's
@@ -39,6 +52,22 @@ class SearchResult:
     def found(self) -> bool:
         """Whether a mapping expression was discovered."""
         return self.status == STATUS_FOUND
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        """Whether the run was cut by its wall-clock deadline."""
+        return self.status == STATUS_DEADLINE_EXCEEDED
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the run was cancelled via a :class:`CancelToken`."""
+        return self.status == STATUS_CANCELLED
+
+    @property
+    def frontier_depth(self) -> int:
+        """Deepest ``g`` the run reached — the best frontier-depth summary
+        a partial (deadline-cut / cancelled) run can report."""
+        return self.stats.max_depth
 
     @property
     def states_examined(self) -> int:

@@ -33,14 +33,27 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..errors import SearchBudgetExceeded
-from ..obs.events import BUDGET_EXCEEDED, EXPAND, ITERATION_START
+from ..errors import SearchBudgetExceeded, SearchCancelled, SearchDeadlineExceeded
+from ..obs.events import (
+    BUDGET_EXCEEDED,
+    CANCELLED,
+    DEADLINE_EXCEEDED,
+    EXPAND,
+    ITERATION_START,
+)
 from ..obs.metrics import BRANCHING_BUCKETS, DEPTH_BUCKETS
 from ..obs.tracer import NULL_TRACER, Tracer
+from .cancel import CancelToken
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.metrics import MetricsRegistry
     from ..relational.database import Database
+
+#: examinations between wall-clock deadline / cancel-token polls — large
+#: enough that an unbounded run pays only a modulo per examination, small
+#: enough that a bounded run overshoots its deadline by at most a handful
+#: of state expansions
+LIMIT_CHECK_EVERY = 16
 
 
 @dataclass
@@ -85,6 +98,17 @@ class SearchStats:
         metrics: optional metrics registry; when set, depth and branching
             histograms are observed live and :meth:`stop_clock` publishes
             the final counter snapshot into it.
+        deadline_seconds: optional wall-clock deadline (seconds from
+            :attr:`started_at`); enforced cooperatively by
+            :meth:`check_limits`, raising
+            :class:`~repro.errors.SearchDeadlineExceeded`.
+        cancel_token: optional :class:`~repro.search.cancel.CancelToken`;
+            when set (possibly from another process), :meth:`check_limits`
+            raises :class:`~repro.errors.SearchCancelled`.
+        check_every: examinations between limit polls in :meth:`examine`
+            (successor generation additionally polls once per expansion via
+            :meth:`check_limits`, so coarse-grained algorithms like beam
+            stay responsive).
     """
 
     budget: int = 1_000_000
@@ -111,6 +135,9 @@ class SearchStats:
     clock_stopped: bool = False
     tracer: Tracer = NULL_TRACER
     metrics: "MetricsRegistry | None" = None
+    deadline_seconds: float | None = None
+    cancel_token: CancelToken | None = None
+    check_every: int = LIMIT_CHECK_EVERY
 
     def examine(self, depth: int = 0, state: "Database | None" = None) -> None:
         """Record one state examination; raise if the budget is exhausted."""
@@ -132,6 +159,41 @@ class SearchStats:
                     examined=self.states_examined,
                 )
             raise SearchBudgetExceeded(self.budget, self.states_examined)
+        if self.states_examined % self.check_every == 0 or self.states_examined == 1:
+            self.check_limits()
+
+    def check_limits(self) -> None:
+        """Poll the wall-clock deadline and the cancel token (cooperative).
+
+        Free when neither limit is configured (two attribute loads and two
+        branches); with a limit set, one ``perf_counter`` read / one token
+        poll per call.  Called every :attr:`check_every` examinations from
+        :meth:`examine` and once per expansion from
+        :meth:`~repro.search.problem.MappingProblem.successors`.
+
+        Raises:
+            SearchDeadlineExceeded: the deadline has passed.
+            SearchCancelled: the cancel token is set.
+        """
+        token = self.cancel_token
+        if token is not None and token.cancelled:
+            if self.tracer.enabled:
+                self.tracer.emit(CANCELLED, examined=self.states_examined)
+            raise SearchCancelled(self.states_examined)
+        deadline = self.deadline_seconds
+        if deadline is not None:
+            elapsed = time.perf_counter() - self.started_at
+            if elapsed > deadline:
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        DEADLINE_EXCEEDED,
+                        deadline=deadline,
+                        elapsed=elapsed,
+                        examined=self.states_examined,
+                    )
+                raise SearchDeadlineExceeded(
+                    deadline, elapsed, self.states_examined
+                )
 
     def generated(self, count: int = 1) -> None:
         """Record successor generation."""
@@ -154,7 +216,15 @@ class SearchStats:
             tracer.emit(ITERATION_START, n=self.iterations, **info)
 
     def stop_clock(self) -> None:
-        """Freeze :attr:`elapsed_seconds` and publish attached metrics."""
+        """Freeze :attr:`elapsed_seconds` and publish attached metrics.
+
+        Idempotent: a second call is a no-op.  Re-freezing would silently
+        lengthen ``elapsed_seconds``, and re-publishing would double-count
+        every monotone counter in the attached
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+        """
+        if self.clock_stopped:
+            return
         self.elapsed_seconds = time.perf_counter() - self.started_at
         self.clock_stopped = True
         if self.metrics is not None:
@@ -208,8 +278,12 @@ class SearchStats:
         return self.cache_hits / total if total else 0.0
 
     def as_dict(self) -> dict[str, float | int]:
-        """Plain-dict rendering for reports and benches."""
-        return {
+        """Plain-dict rendering for reports and benches.
+
+        ``deadline_seconds`` appears only when a deadline was configured,
+        so unbounded runs keep the exact historical dict shape.
+        """
+        out: dict[str, float | int] = {
             "states_examined": self.states_examined,
             "states_generated": self.states_generated,
             "iterations": self.iterations,
@@ -228,3 +302,6 @@ class SearchStats:
             "time_in_heuristic": self.time_in_heuristic,
             "time_in_goal_tests": self.time_in_goal_tests,
         }
+        if self.deadline_seconds is not None:
+            out["deadline_seconds"] = float(self.deadline_seconds)
+        return out

@@ -7,7 +7,12 @@ import logging
 
 import pytest
 
-from repro.errors import ObservabilityError, TraceFormatError, TupeloError
+from repro.errors import (
+    ObservabilityError,
+    TraceFormatError,
+    TraceWriteError,
+    TupeloError,
+)
 from repro.obs import (
     EXPAND,
     SCHEMA_VERSION,
@@ -53,8 +58,8 @@ class TestTracer:
         path = tmp_path / "t.jsonl"
         with Tracer(JsonlSink(path)) as tracer:
             tracer.emit(EXPAND, depth=0, n=1)
-        # sink is closed: further writes must fail
-        with pytest.raises(ValueError):
+        # sink is closed: further direct writes must fail, typed
+        with pytest.raises(TraceWriteError):
             tracer.sink.write({"event": EXPAND})
 
 
