@@ -10,9 +10,10 @@ Environment knobs:
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
+
+from repro.serialize import json_dumps_indent2
 
 _SECTIONS: list[tuple[str, str]] = []
 
@@ -46,5 +47,5 @@ def write_bench_json(path: str | Path, payload: dict) -> Path:
     sorted keys, two-space indent, trailing newline.
     """
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json_dumps_indent2(payload) + "\n")
     return path

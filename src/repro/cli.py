@@ -24,6 +24,10 @@ Commands::
 
     python -m repro trace --inspect FILE
 
+    python -m repro profile [--synthetic N] [--algorithm ida]
+        [--heuristic h0] [--budget N] [--top N] [--sort cumulative]
+        [--kernel legacy|columnar|columnar+delta]
+
     python -m repro info
 
 Exit codes: 0 success, 1 no mapping found, 2 usage / input error,
@@ -243,6 +247,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="skip searching: validate an existing trace and print its profile",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile a synthetic discovery and print the top time sinks",
+    )
+    profile.add_argument(
+        "--synthetic",
+        type=int,
+        default=5,
+        metavar="N",
+        help="synthetic schema size to profile (Fig. 5 x-axis; default 5)",
+    )
+    profile.add_argument(
+        "--algorithm", default="ida", choices=sorted(ALGORITHM_NAMES)
+    )
+    profile.add_argument(
+        "--heuristic",
+        default="h0",
+        choices=sorted(HEURISTIC_NAMES + EXTENSION_HEURISTIC_NAMES),
+    )
+    profile.add_argument(
+        "--budget", type=int, default=1_000_000, help="max states examined"
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, help="profile rows to print (default 20)"
+    )
+    profile.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime"],
+        help="profile ordering (default cumulative)",
+    )
+    profile.add_argument(
+        "--kernel",
+        default=None,
+        choices=["legacy", "columnar", "columnar+delta"],
+        help="pin the kernel mode for the run (default: current switches)",
+    )
+    profile.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the unprofiled warm-up run (includes one-time costs)",
     )
 
     sub.add_parser("info", help="list available algorithms and heuristics")
@@ -497,6 +544,31 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.found else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one synthetic discovery and print the distilled sinks."""
+    if args.synthetic < 1:
+        print("error: --synthetic needs a size >= 1", file=sys.stderr)
+        return 2
+    if args.kernel is not None:
+        from .relational import caching
+
+        caching.set_columnar_kernel(args.kernel != "legacy")
+        caching.set_incremental_heuristics(args.kernel == "columnar+delta")
+    from .experiments import profile_point
+
+    profile = profile_point(
+        n=args.synthetic,
+        algorithm=args.algorithm,
+        heuristic=args.heuristic,
+        budget=args.budget,
+        top=args.top,
+        sort=args.sort,
+        warm=not args.cold,
+    )
+    print(profile.table())
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """List available algorithms, heuristics, and telemetry capabilities."""
     print("algorithms: " + ", ".join(ALGORITHM_NAMES))
@@ -504,6 +576,11 @@ def cmd_info(_args: argparse.Namespace) -> int:
     print("extensions: " + ", ".join(EXTENSION_HEURISTIC_NAMES))
     print(f"telemetry: structured tracing (schema v{SCHEMA_VERSION}), "
           "metrics registry (counters/gauges/histograms)")
+    from .relational import caching
+    from .serialize import FAST_JSON_BACKEND
+
+    print(f"kernel: {caching.kernel_mode()} (REPRO_COLUMNAR_KERNEL, "
+          f"REPRO_INCREMENTAL_HEURISTICS), json backend: {FAST_JSON_BACKEND}")
     print("sinks: " + ", ".join(SINK_NAMES))
     print("events: " + ", ".join(EVENT_TYPES))
     from .parallel import (
@@ -530,6 +607,7 @@ _COMMANDS = {
     "apply": cmd_apply,
     "tnf": cmd_tnf,
     "trace": cmd_trace,
+    "profile": cmd_profile,
     "info": cmd_info,
 }
 

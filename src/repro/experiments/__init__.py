@@ -9,6 +9,12 @@ from .calibration import (
     calibration_tasks,
     total_states,
 )
+from .kernel_profile import (
+    PROFILE_SORTS,
+    KernelProfile,
+    ProfileRow,
+    profile_point,
+)
 from .persist import load_series, save_series, series_from_dict, series_to_dict
 from .plots import SERIES_MARKS, ascii_chart
 from .quality import MatchQuality, evaluate_matching
@@ -40,6 +46,10 @@ __all__ = [
     "calibrate_all",
     "calibration_tasks",
     "total_states",
+    "PROFILE_SORTS",
+    "KernelProfile",
+    "ProfileRow",
+    "profile_point",
     "load_series",
     "save_series",
     "series_from_dict",

@@ -8,10 +8,10 @@ without re-searching.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from ..serialize import json_dumps_indent2, json_loads
 from .runner import ExperimentPoint, ExperimentSeries
 
 #: current archive format version
@@ -80,7 +80,7 @@ def save_series(
         "series": [series_to_dict(series) for series in series_list],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json_dumps_indent2(payload) + "\n")
     return path
 
 
@@ -90,7 +90,7 @@ def load_series(path: str | Path) -> tuple[list[ExperimentSeries], dict]:
     Raises:
         ValueError: on unknown format versions.
     """
-    payload = json.loads(Path(path).read_text())
+    payload = json_loads(Path(path).read_text())
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(

@@ -1,0 +1,93 @@
+"""Structural deltas between parent and child search states.
+
+Every L operator transforms a :class:`~repro.relational.database.Database`
+by replacing, adding or removing a handful of relations;
+``Database.with_relation`` / ``without_relation`` keep every untouched
+:class:`~repro.relational.relation.Relation` *object* intact.  A
+:class:`StateDelta` exploits that: an identity sweep over the two relation
+tuples recovers exactly which relations a step removed and added, in time
+linear in the number of relations — no row-level diffing.
+
+The delta is what the incremental-heuristic layer consumes: a child state's
+:class:`~repro.relational.summary.DatabaseSummary` is the parent's summary
+minus the removed relations' contributions plus the added ones' (see
+:meth:`DatabaseSummary.apply_delta`).  The identity diff over-approximates
+the value-level diff in the degenerate case where an operator rebuilds a
+relation equal to one it replaced; that is still *correct* for summary
+arithmetic (subtracting and re-adding an equal contribution is a no-op), so
+deltas are always safe to apply.
+
+Column- and cell-level readings of the delta are derived on demand
+(:meth:`StateDelta.added_columns`, :meth:`StateDelta.cell_delta`) for
+diagnostics and tests; the hot path only ever touches the relation lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class StateDelta:
+    """Relations removed from the parent state and added by the child."""
+
+    removed: tuple[Relation, ...]
+    added: tuple[Relation, ...]
+
+    @staticmethod
+    def between(parent: Database, child: Database) -> "StateDelta":
+        """The structural delta from *parent* to *child* (identity-based).
+
+        Linear in the number of relations: a relation object present in
+        both states (operators pass untouched members through by
+        reference) is neither removed nor added.
+        """
+        child_ids = {id(rel) for rel in child.relations}
+        parent_ids = {id(rel) for rel in parent.relations}
+        removed = tuple(
+            rel for rel in parent.relations if id(rel) not in child_ids
+        )
+        added = tuple(
+            rel for rel in child.relations if id(rel) not in parent_ids
+        )
+        return StateDelta(removed, added)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the step touched no relation at all."""
+        return not self.removed and not self.added
+
+    def removed_columns(self) -> frozenset[tuple[str, str]]:
+        """(relation, attribute) pairs present before the step but not after."""
+        before = {
+            (rel.name, attr) for rel in self.removed for attr in rel.attributes
+        }
+        after = {
+            (rel.name, attr) for rel in self.added for attr in rel.attributes
+        }
+        return frozenset(before - after)
+
+    def added_columns(self) -> frozenset[tuple[str, str]]:
+        """(relation, attribute) pairs introduced by the step."""
+        before = {
+            (rel.name, attr) for rel in self.removed for attr in rel.attributes
+        }
+        after = {
+            (rel.name, attr) for rel in self.added for attr in rel.attributes
+        }
+        return frozenset(after - before)
+
+    def cell_delta(self) -> int:
+        """Net change in stored cell count (arity x cardinality)."""
+        return sum(r.arity * r.cardinality for r in self.added) - sum(
+            r.arity * r.cardinality for r in self.removed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StateDelta(removed={[r.name for r in self.removed]}, "
+            f"added={[r.name for r in self.added]})"
+        )

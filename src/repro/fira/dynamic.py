@@ -22,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import OperatorApplicationError
+from ..relational import caching
 from ..relational.database import Database
-from ..relational.relation import Relation
+from ..relational.intern import NULL_TOKEN, TEXTS, intern_value
+from ..relational.relation import Relation, TokenRow
 from ..relational.types import NULL, Value, is_null, value_to_text
 from .base import RelationOperator
 
@@ -76,11 +78,22 @@ class Promote(RelationOperator):
 
         new_columns: list[str] = []
         seen: set[str] = set()
-        for row in rel.sorted_rows():
-            column = _column_name_for(row[name_pos])
-            if column is not None and column not in seen:
-                seen.add(column)
-                new_columns.append(column)
+        if caching.columnar_kernel_enabled():
+            texts = TEXTS
+            for trow in rel.sorted_token_rows():
+                token = trow[name_pos]
+                if token == NULL_TOKEN:
+                    continue
+                column = texts[token]
+                if column and column not in seen:
+                    seen.add(column)
+                    new_columns.append(column)
+        else:
+            for row in rel.sorted_rows():
+                column = _column_name_for(row[name_pos])
+                if column is not None and column not in seen:
+                    seen.add(column)
+                    new_columns.append(column)
         if not new_columns:
             raise OperatorApplicationError(
                 f"promote: column {self.name_attr!r} of {self.relation!r} has no "
@@ -93,6 +106,10 @@ class Promote(RelationOperator):
                 f"with existing attributes of {self.relation!r}"
             )
 
+        if caching.columnar_kernel_enabled():
+            return db.with_relation(
+                self._promote_columnar(rel, name_pos, value_pos, new_columns)
+            )
         new_rows = []
         for row in rel.rows:
             column = _column_name_for(row[name_pos])
@@ -105,6 +122,31 @@ class Promote(RelationOperator):
             rel.name, rel.attributes + tuple(new_columns), new_rows
         )
         return db.with_relation(promoted)
+
+    @staticmethod
+    def _promote_columnar(
+        rel: Relation, name_pos: int, value_pos: int, new_columns: list[str]
+    ) -> Relation:
+        """Token fast path: build the ragged relation without value tuples."""
+        texts = TEXTS
+        attrs = rel.attributes + tuple(new_columns)
+        order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+        canonical_attrs = tuple(attrs[i] for i in order)
+        column_slot = {column: i for i, column in enumerate(new_columns)}
+        null_extension = [NULL_TOKEN] * len(new_columns)
+        token_rows: set[TokenRow] = set()
+        for trow in rel.token_rows:
+            extension = list(null_extension)
+            token = trow[name_pos]
+            if token != NULL_TOKEN:
+                slot = column_slot.get(texts[token])
+                if slot is not None:
+                    extension[slot] = trow[value_pos]
+            tokens = trow + tuple(extension)
+            token_rows.add(tuple(tokens[i] for i in order))
+        return Relation._from_token_rows(
+            rel.name, canonical_attrs, frozenset(token_rows)
+        )
 
     def is_applicable(self, db: Database) -> bool:
         if not db.has_relation(self.relation):
@@ -145,15 +187,26 @@ class Demote(RelationOperator):
                 raise OperatorApplicationError(
                     f"demote: {self.relation!r} already has reserved column {reserved!r}"
                 )
+        attrs = rel.attributes + (DEMOTE_REL_ATTR, DEMOTE_ATT_ATTR)
+        if caching.columnar_kernel_enabled():
+            order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+            canonical_attrs = tuple(attrs[i] for i in order)
+            name_token = intern_value(rel.name)
+            attr_tokens = [intern_value(a) for a in rel.attributes]
+            token_rows: set[TokenRow] = set()
+            for trow in rel.token_rows:
+                for attr_token in attr_tokens:
+                    tokens = trow + (name_token, attr_token)
+                    token_rows.add(tuple(tokens[i] for i in order))
+            demoted = Relation._from_token_rows(
+                rel.name, canonical_attrs, frozenset(token_rows)
+            )
+            return db.with_relation(demoted)
         new_rows = []
         for row in rel.rows:
             for attr in rel.attributes:
                 new_rows.append(row + (rel.name, attr))
-        demoted = Relation(
-            rel.name,
-            rel.attributes + (DEMOTE_REL_ATTR, DEMOTE_ATT_ATTR),
-            new_rows,
-        )
+        demoted = Relation(rel.name, attrs, new_rows)
         return db.with_relation(demoted)
 
     def is_applicable(self, db: Database) -> bool:
@@ -195,6 +248,32 @@ class Dereference(RelationOperator):
             raise OperatorApplicationError(
                 f"deref: {self.relation!r} already has attribute {self.new_attr!r}"
             )
+
+        if caching.columnar_kernel_enabled():
+            if not isinstance(self.new_attr, str) or not self.new_attr:
+                raise OperatorApplicationError(
+                    f"deref: invalid new attribute name {self.new_attr!r}"
+                )
+            texts = TEXTS
+            pointer_pos = rel.attribute_position(self.pointer_attr)
+            positions = {attr: i for i, attr in enumerate(rel.attributes)}
+            attrs = rel.attributes + (self.new_attr,)
+            order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+            canonical_attrs = tuple(attrs[i] for i in order)
+            token_rows: set[TokenRow] = set()
+            for trow in rel.token_rows:
+                pointer = trow[pointer_pos]
+                if pointer == NULL_TOKEN:
+                    new_token = NULL_TOKEN
+                else:
+                    position = positions.get(texts[pointer])
+                    new_token = trow[position] if position is not None else NULL_TOKEN
+                tokens = trow + (new_token,)
+                token_rows.add(tuple(tokens[i] for i in order))
+            extended = Relation._from_token_rows(
+                rel.name, canonical_attrs, frozenset(token_rows)
+            )
+            return db.with_relation(extended)
 
         def dereference(row_dict: dict[str, Value]) -> Value:
             pointer = row_dict[self.pointer_attr]
@@ -245,6 +324,33 @@ class Partition(RelationOperator):
                 f"partition: {self.relation!r} has no attribute {self.attribute!r}"
             )
         position = rel.attribute_position(self.attribute)
+        if caching.columnar_kernel_enabled():
+            texts = TEXTS
+            token_groups: dict[str, list[TokenRow]] = {}
+            for trow in rel.sorted_token_rows():
+                token = trow[position]
+                name = texts[token] if token != NULL_TOKEN else ""
+                if not name:
+                    raise OperatorApplicationError(
+                        f"partition: column {self.attribute!r} of {self.relation!r} "
+                        "contains values that cannot name a relation"
+                    )
+                token_groups.setdefault(name, []).append(trow)
+            if not token_groups:
+                raise OperatorApplicationError(
+                    f"partition: relation {self.relation!r} is empty"
+                )
+            result = db.without_relation(self.relation)
+            for name in token_groups:
+                if result.has_relation(name):
+                    raise OperatorApplicationError(
+                        f"partition: partition name {name!r} collides with an "
+                        "existing relation"
+                    )
+            return result.with_relations(
+                Relation._from_token_rows(name, rel.attributes, frozenset(rows))
+                for name, rows in token_groups.items()
+            )
         groups: dict[str, list] = {}
         for row in rel.sorted_rows():
             name = _column_name_for(row[position])

@@ -55,6 +55,13 @@ class Heuristic(abc.ABC):
     #: registry key (e.g. ``"h1"``, ``"cosine"``)
     name: str = ""
 
+    #: whether this heuristic consumes :mod:`repro.relational.summary`
+    #: state summaries when the incremental kill switch is on.  The search
+    #: engine only threads parent/delta provenance through successor
+    #: generation for heuristics that declare interest (h0 does not, so
+    #: blind runs pay nothing for the machinery).
+    wants_summaries: bool = True
+
     def __init__(self, target: Database) -> None:
         self._target = target
         self._cache: OrderedDict[Database, int] = OrderedDict()
@@ -81,7 +88,8 @@ class Heuristic(abc.ABC):
         cache = self._cache
         cached = cache.get(state)
         if cached is not None:
-            cache.move_to_end(state)
+            if self.cache_capacity is not None:  # LRU order only when bounded
+                cache.move_to_end(state)
             if stats is not None:
                 stats.heuristic_cache_hits += 1
                 tracer = stats.tracer

@@ -6,6 +6,14 @@ the database's TNF rows.  The paper indexes the full ``n³`` triple space
 over the token universe of the critical instances; since almost every
 component is zero we represent vectors sparsely — all three distances only
 involve the union of the two supports.
+
+All three heuristics reduce to three exact integer aggregates: the state's
+sum of squared counts ``S²``, the target's ``T²``, and their inner product
+``D`` (``distance² = S² − 2D + T²``; ``cos = D / (√S²·√T²)``).  When the
+incremental kill switch is on, ``S²`` and ``D`` come from the state's
+delta-maintained :class:`~repro.relational.summary.DatabaseSummary` instead
+of a fresh term vector; the aggregates are identical integers either way,
+so the two arms agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -13,7 +21,9 @@ from __future__ import annotations
 import math
 from collections import Counter
 
+from ..relational import caching
 from ..relational.database import Database
+from ..relational.summary import database_summary
 from ..relational.tnf import tnf_triples
 from .base import Heuristic, ScaledHeuristic, round_half_up
 
@@ -21,8 +31,14 @@ TermVector = Counter
 
 
 def term_vector(db: Database) -> TermVector:
-    """The sparse (REL, ATT, VALUE)-triple count vector of *db*."""
-    return Counter(tnf_triples(db))
+    """The sparse (REL, ATT, VALUE)-triple count vector of *db*.
+
+    Memoised on *db* alongside the other TNF-derived views (the underlying
+    ``tnf_triples`` tuple was already cached; the Counter built from it was
+    not, and heuristics call this once per estimate).  The returned Counter
+    is shared — treat it as read-only.
+    """
+    return db.cached_view("term_vector", lambda: Counter(tnf_triples(db)))
 
 
 def euclidean_distance(left: TermVector, right: TermVector) -> float:
@@ -58,47 +74,79 @@ def cosine_similarity(
     return dot / denominator
 
 
-class EuclideanHeuristic(Heuristic):
+class _TargetVectorMixin:
+    """Shared target-side compilation for the triple-space heuristics."""
+
+    def _compile_target(self, target: Database) -> None:
+        self._target_vector = term_vector(target)
+        target_summary = database_summary(target)
+        self._target_triples = target_summary.triples
+        self._target_sum_sq = target_summary.sum_sq
+
+
+class EuclideanHeuristic(_TargetVectorMixin, Heuristic):
     """hE — unnormalized Euclidean distance in triple space."""
 
     name = "euclid"
 
     def __init__(self, target: Database) -> None:
         super().__init__(target)
-        self._target_vector = term_vector(target)
+        self._compile_target(target)
 
     def estimate(self, state: Database) -> int:
+        if caching.incremental_heuristics_enabled():
+            summary = database_summary(state)
+            squared = (
+                summary.sum_sq
+                - 2 * summary.dot(self._target_triples)
+                + self._target_sum_sq
+            )
+            return round_half_up(math.sqrt(squared))
         return round_half_up(euclidean_distance(term_vector(state), self._target_vector))
 
 
-class NormalizedEuclideanHeuristic(ScaledHeuristic):
-    """h|E| — Euclidean distance between unit-normalized vectors, scaled by k."""
+class NormalizedEuclideanHeuristic(_TargetVectorMixin, ScaledHeuristic):
+    """h|E| — Euclidean distance between unit-normalized vectors, scaled by k.
+
+    For unit vectors ``‖s/‖s‖ − t/‖t‖‖² = 2 − 2·cos(s, t)``, so both arms
+    share one float tail over the exact integer aggregates (S², T², D) and
+    agree bit-for-bit.
+    """
 
     name = "euclid_norm"
     default_k = 7.0  # the paper's tuned IDA value; RBFS uses 20
 
     def __init__(self, target: Database, k: float | None = None) -> None:
         super().__init__(target, k)
-        self._target_vector = term_vector(target)
-        self._target_norm = vector_norm(self._target_vector)
+        self._compile_target(target)
 
-    def estimate(self, state: Database) -> int:
-        state_vector = term_vector(state)
-        state_norm = vector_norm(state_vector)
-        if state_norm == 0 and self._target_norm == 0:
+    def _scaled_distance(self, sum_sq: int, dot: int) -> int:
+        target_sum_sq = self._target_sum_sq
+        if sum_sq == 0 and target_sum_sq == 0:
             return 0  # both databases are empty of cells
-        if state_norm == 0 or self._target_norm == 0:
+        if sum_sq == 0 or target_sum_sq == 0:
             return round_half_up(self.k)
-        keys = state_vector.keys() | self._target_vector.keys()
-        squared = sum(
-            (state_vector[k] / state_norm - self._target_vector[k] / self._target_norm)
-            ** 2
-            for k in keys
-        )
+        cosine = dot / (math.sqrt(sum_sq) * math.sqrt(target_sum_sq))
+        squared = max(0.0, 2.0 - 2.0 * cosine)
         return round_half_up(self.k * math.sqrt(squared))
 
+    def estimate(self, state: Database) -> int:
+        if caching.incremental_heuristics_enabled():
+            summary = database_summary(state)
+            return self._scaled_distance(
+                summary.sum_sq, summary.dot(self._target_triples)
+            )
+        state_vector = term_vector(state)
+        sum_sq = sum(count * count for count in state_vector.values())
+        target_vector = self._target_vector
+        dot = sum(
+            state_vector[k] * target_vector[k]
+            for k in state_vector.keys() & target_vector.keys()
+        )
+        return self._scaled_distance(sum_sq, dot)
 
-class CosineHeuristic(ScaledHeuristic):
+
+class CosineHeuristic(_TargetVectorMixin, ScaledHeuristic):
     """hcos — ``k * (1 - cosine_similarity)``; low for near-parallel vectors."""
 
     name = "cosine"
@@ -106,10 +154,20 @@ class CosineHeuristic(ScaledHeuristic):
 
     def __init__(self, target: Database, k: float | None = None) -> None:
         super().__init__(target, k)
-        self._target_vector = term_vector(target)
+        self._compile_target(target)
         self._target_norm = vector_norm(self._target_vector)
 
     def estimate(self, state: Database) -> int:
+        if caching.incremental_heuristics_enabled():
+            summary = database_summary(state)
+            if not summary.triples and not self._target_triples:
+                return 0  # both databases are empty of cells
+            denominator = math.sqrt(summary.sum_sq) * self._target_norm
+            if denominator == 0:
+                similarity = 0.0
+            else:
+                similarity = summary.dot(self._target_triples) / denominator
+            return round_half_up(self.k * (1.0 - similarity))
         state_vector = term_vector(state)
         if not state_vector and not self._target_vector:
             return 0  # both databases are empty of cells

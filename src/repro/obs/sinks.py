@@ -10,13 +10,13 @@ branch per instrumentation site — the invariant
 
 from __future__ import annotations
 
-import json
 import logging
 from pathlib import Path
 from typing import IO, Mapping
 
 from ..errors import TraceWriteError
 from ..resilience.faults import inject
+from ..serialize import json_dumps_compact
 
 #: stdlib logger the LoggingSink bridges to
 TRACE_LOGGER_NAME = "repro.obs.trace"
@@ -108,7 +108,7 @@ class JsonlSink(Sink):
             raise TraceWriteError(str(self.path), "sink is closed")
         try:
             inject(SITE_SINK_WRITE, key=str(self.path))
-            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.write(json_dumps_compact(record) + "\n")
         except OSError as exc:
             self.close()
             raise TraceWriteError(

@@ -22,11 +22,11 @@ its phase timers).
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from time import perf_counter
 
 from ..errors import TraceFormatError, TraceWriteError
+from ..serialize import json_loads
 from ..resilience.runtime import resilience_warning
 from .events import SCHEMA_VERSION, TRACE_HEADER, validate_events
 from .sinks import JsonlSink, MemorySink, NullSink, Sink
@@ -136,8 +136,8 @@ def load_trace(path: str | Path, validate: bool = True) -> list[dict]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as err:
+                records.append(json_loads(line))
+            except ValueError as err:
                 raise TraceFormatError(
                     f"{path}:{lineno}: not valid JSON: {err}"
                 ) from err

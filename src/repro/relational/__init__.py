@@ -14,7 +14,23 @@ This package provides the data model everything else is built on:
 """
 
 from .database import Database
-from .relation import Relation, Row
+from .intern import (
+    NULL_TOKEN,
+    intern_row,
+    intern_value,
+    pool_size,
+    probe_value,
+    token_text,
+    token_text_id,
+    token_value,
+)
+from .relation import Relation, Row, TokenRow
+from .summary import (
+    DatabaseSummary,
+    RelationSummary,
+    database_summary,
+    relation_summary,
+)
 from .tnf import (
     TNF_ATTRIBUTES,
     database_string,
@@ -43,6 +59,19 @@ __all__ = [
     "Database",
     "Relation",
     "Row",
+    "TokenRow",
+    "NULL_TOKEN",
+    "intern_row",
+    "intern_value",
+    "pool_size",
+    "probe_value",
+    "token_text",
+    "token_text_id",
+    "token_value",
+    "DatabaseSummary",
+    "RelationSummary",
+    "database_summary",
+    "relation_summary",
     "NULL",
     "NullType",
     "Value",

@@ -1,24 +1,57 @@
-"""Global kill-switch for derived-view memoisation.
+"""Global kill-switches for the relational kernel's performance layers.
 
-:class:`~repro.relational.relation.Relation` and
-:class:`~repro.relational.database.Database` memoise their derived views
-(column text sets, TNF triples, the database string, ...) because values are
-immutable.  The memoisation is semantically invisible, which makes it hard
-to measure — so this module provides an ablation switch the cache benches
-use to time the *unmemoised* kernel: with view caching disabled,
-``cached_view`` bypasses the per-value store entirely and recomputes on
-every call (the pre-memoisation behaviour).
+Three independent ablation switches live here, all process-global and all
+semantically invisible (they select *how* results are computed, never *what*
+is computed):
 
-Not intended for production use: the switch is process-global and exists so
-``benchmarks/bench_cache_ablation.py`` can quantify what the caches buy.
+* **view caching** (PR 1) — per-value memoisation of derived views on
+  :class:`~repro.relational.relation.Relation` /
+  :class:`~repro.relational.database.Database`.  With it off,
+  ``cached_view`` bypasses the per-value store entirely and recomputes on
+  every call (the pre-memoisation behaviour).
+* **columnar kernel** — the interned-token fast paths: operators, proposal
+  rules, containment and hashing work on per-column tuples of token ids
+  instead of Python value tuples.  With it off, every derived computation
+  goes through the legacy value/text views, restoring the pre-columnar
+  cost model end-to-end (storage itself stays columnar; only the code
+  paths change, so results are bit-identical either way).
+* **incremental heuristics** — delta-driven heuristic summaries: search
+  successors carry a :class:`~repro.fira.delta.StateDelta` and heuristic
+  aggregates update from the parent state's cached
+  :class:`~repro.relational.summary.DatabaseSummary` instead of being
+  recomputed from scratch.  Requires the columnar kernel (summaries are
+  token-keyed), so :func:`incremental_heuristics_enabled` reports False
+  whenever the columnar kernel is off.
+
+Each switch can be initialised from the environment
+(``REPRO_VIEW_CACHING`` / ``REPRO_COLUMNAR_KERNEL`` /
+``REPRO_INCREMENTAL_HEURISTICS``, value ``0`` disables) so ablations
+propagate into worker processes spawned by the parallel execution layer and
+into CI jobs that exercise the legacy path.
+
+Not intended for production use: the switches exist so the ablation benches
+(``benchmarks/bench_cache_ablation.py``,
+``benchmarks/bench_kernel_columnar.py``) can quantify what each layer buys.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Iterator
 
-_view_caching_enabled = True
+
+def _env_flag(name: str) -> bool:
+    """Read an on/off env var: unset or anything but ``0``/``false`` is on."""
+    return os.environ.get(name, "1").strip().lower() not in ("0", "false", "no")
+
+
+_view_caching_enabled = _env_flag("REPRO_VIEW_CACHING")
+_columnar_kernel_enabled = _env_flag("REPRO_COLUMNAR_KERNEL")
+_incremental_heuristics_enabled = _env_flag("REPRO_INCREMENTAL_HEURISTICS")
+
+
+# -- view caching (PR 1) -------------------------------------------------------
 
 
 def view_caching_enabled() -> bool:
@@ -41,3 +74,79 @@ def view_caching_disabled() -> Iterator[None]:
         yield
     finally:
         set_view_caching(previous)
+
+
+# -- columnar kernel -----------------------------------------------------------
+
+
+def columnar_kernel_enabled() -> bool:
+    """Whether the interned-token fast paths are active (default True)."""
+    return _columnar_kernel_enabled
+
+
+def set_columnar_kernel(enabled: bool) -> None:
+    """Globally enable/disable the columnar token fast paths."""
+    global _columnar_kernel_enabled
+    _columnar_kernel_enabled = bool(enabled)
+
+
+@contextmanager
+def columnar_kernel_disabled() -> Iterator[None]:
+    """Context manager: run a block on the legacy (pre-columnar) path."""
+    previous = _columnar_kernel_enabled
+    set_columnar_kernel(False)
+    try:
+        yield
+    finally:
+        set_columnar_kernel(previous)
+
+
+# -- incremental heuristics ----------------------------------------------------
+
+
+def incremental_heuristics_enabled() -> bool:
+    """Whether delta-incremental heuristic summaries are active.
+
+    False whenever the columnar kernel is off: summaries are token-keyed,
+    so the incremental layer cannot run on the legacy path.
+    """
+    return _incremental_heuristics_enabled and _columnar_kernel_enabled
+
+
+def set_incremental_heuristics(enabled: bool) -> None:
+    """Globally enable/disable delta-incremental heuristic summaries."""
+    global _incremental_heuristics_enabled
+    _incremental_heuristics_enabled = bool(enabled)
+
+
+@contextmanager
+def incremental_heuristics_disabled() -> Iterator[None]:
+    """Context manager: run a block with full heuristic recomputation."""
+    previous = _incremental_heuristics_enabled
+    set_incremental_heuristics(False)
+    try:
+        yield
+    finally:
+        set_incremental_heuristics(previous)
+
+
+# -- combined ------------------------------------------------------------------
+
+
+def kernel_mode() -> str:
+    """Short label of the active kernel configuration (for reports)."""
+    if not _columnar_kernel_enabled:
+        return "legacy"
+    if incremental_heuristics_enabled():
+        return "columnar+delta"
+    return "columnar"
+
+
+@contextmanager
+def legacy_kernel() -> Iterator[None]:
+    """Context manager: columnar kernel *and* incremental heuristics off.
+
+    The bench arms use this to time the pre-columnar kernel in one block.
+    """
+    with columnar_kernel_disabled(), incremental_heuristics_disabled():
+        yield

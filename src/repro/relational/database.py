@@ -15,6 +15,7 @@ returned as immutable containers.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import NameCollisionError, SchemaError, UnknownRelationError
@@ -116,6 +117,14 @@ class Database:
         """Whether a relation called *name* exists."""
         return name in self._by_name
 
+    def relation_name_view(self):
+        """Live keys view of relation names (cheap membership/iteration).
+
+        Unlike :attr:`relation_names` this allocates nothing; the proposal
+        hot loop diffs target names against it once per expansion.
+        """
+        return self._by_name.keys()
+
     def __iter__(self) -> Iterator[Relation]:
         return iter(self._relations)
 
@@ -161,10 +170,34 @@ class Database:
         sets (e.g. demotions are proposed only when a metadata token is
         still missing from the state's data values).
         """
-        return self.cached_view(
-            "value_texts",
-            lambda: frozenset(value_to_text(v) for v in self.value_set()),
-        )
+
+        def compute() -> frozenset[str]:
+            if caching.columnar_kernel_enabled():
+                from .intern import TEXTS
+
+                return frozenset(TEXTS[i] for i in self.value_text_ids())
+            return frozenset(value_to_text(v) for v in self.value_set())
+
+        return self.cached_view("value_texts", compute)
+
+    def value_text_ids(self) -> frozenset[int]:
+        """Token ids of the text forms of all non-NULL data values (memoised).
+
+        The integer-set counterpart of :meth:`value_texts`, consulted by the
+        columnar proposal rules (once per expansion, hence the inlined
+        cache probe).
+        """
+        views = self._views
+        hit = views.get("value_text_ids")
+        if hit is not None:
+            return hit
+        ids: set[int] = set()
+        for rel in self._relations:
+            ids.update(rel.value_text_ids())
+        value = frozenset(ids)
+        if caching.view_caching_enabled():
+            views["value_text_ids"] = value
+        return value
 
     @property
     def has_nulls(self) -> bool:
@@ -175,18 +208,63 @@ class Database:
 
     # -- derivations ---------------------------------------------------------------
 
+    @classmethod
+    def _from_sorted(
+        cls,
+        relations: tuple[Relation, ...],
+        by_name: dict[str, Relation] | None = None,
+    ) -> "Database":
+        """Construct from an already-validated, name-sorted relation tuple.
+
+        Successor generation builds one database per child state; this
+        skips the public constructor's re-validation, re-sort, and
+        duplicate check, which the caller's invariants make redundant.
+        Callers deriving from an existing database pass *by_name* (a dict
+        copy patched in C speed) to skip the name-index rebuild too.
+        """
+        db = cls.__new__(cls)
+        db._relations = relations
+        db._by_name = (
+            by_name
+            if by_name is not None
+            else {rel.name: rel for rel in relations}
+        )
+        db._hash = hash(relations)
+        db._views = {}
+        return db
+
     def with_relation(self, relation: Relation, replace: bool = True) -> "Database":
         """A copy with *relation* added (replacing any same-named member).
 
         With ``replace=False`` a same-named member raises
         :class:`NameCollisionError`.
         """
-        if not replace and self.has_relation(relation.name):
-            raise NameCollisionError(
-                f"relation {relation.name!r} already exists in database"
+        if not isinstance(relation, Relation):
+            raise SchemaError(
+                f"expected Relation, got {type(relation).__name__}"
             )
-        others = [rel for rel in self._relations if rel.name != relation.name]
-        return Database(others + [relation])
+        name = relation.name
+        if name in self._by_name:
+            if not replace:
+                raise NameCollisionError(
+                    f"relation {name!r} already exists in database"
+                )
+            old = self._relations
+            if len(old) == 1:  # the dominant case in single-relation search
+                relations: tuple[Relation, ...] = (relation,)
+            else:
+                relations = tuple(
+                    relation if rel._name == name else rel for rel in old
+                )
+        else:
+            names = [rel._name for rel in self._relations]
+            idx = bisect_right(names, name)
+            relations = (
+                self._relations[:idx] + (relation,) + self._relations[idx:]
+            )
+        by_name = dict(self._by_name)
+        by_name[name] = relation
+        return Database._from_sorted(relations, by_name)
 
     def with_relations(self, relations: Iterable[Relation]) -> "Database":
         """A copy with each of *relations* added/replaced in order."""
@@ -198,7 +276,9 @@ class Database:
     def without_relation(self, name: str) -> "Database":
         """A copy with the named relation removed (raises if absent)."""
         self.relation(name)  # precise error if absent
-        return Database(rel for rel in self._relations if rel.name != name)
+        return Database._from_sorted(
+            tuple(rel for rel in self._relations if rel.name != name)
+        )
 
     def rename_relation(self, old: str, new: str) -> "Database":
         """A copy with relation *old* renamed to *new*."""

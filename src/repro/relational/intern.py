@@ -1,0 +1,129 @@
+"""Process-global value intern pool for the columnar kernel.
+
+Every atomic value that enters a :class:`~repro.relational.relation.Relation`
+is interned to a small integer **token id**; relations store rows as tuples
+of token ids, so row hashing, equality, deduplication and containment all
+become integer-tuple operations, and the per-token derived data consulted by
+the hot loops (text rendering, text token id, deterministic sort key, NULL
+flag) is computed exactly once per distinct value per process.
+
+The pool is keyed by the raw value under Python equality, which makes the
+token mapping *equality-faithful*: two values are assigned the same token
+iff they compare equal.  This mirrors the legacy string-backed kernel, whose
+``frozenset`` row storage already conflated ``==``-equal values (``1``,
+``True`` and ``1.0`` hash equal and collapse to whichever was inserted
+first); here the surviving representative is the first-seen value
+process-wide rather than per-frozenset.  Equality, hashing and containment
+semantics are therefore identical to the legacy path by construction.
+
+Token ids are **process-local** and must never cross a process boundary:
+pickled relations ship their value rows (see ``Relation.__getstate__``) and
+re-intern lazily on the receiving side.
+
+The parallel lists (:data:`VALUES`, :data:`TEXTS`, :data:`TEXT_IDS`,
+:data:`SORT_KEYS`) are append-only and never rebound, so hot loops may
+import them directly and index at C speed.  ``TEXT_IDS[tok]`` is itself a
+token id — the token of the *text rendering* of ``tok``'s value (texts are
+strings, and strings are values) — which lets text-level set comparisons
+(e.g. "does this column mention a missing target attribute name?") run as
+integer set intersections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .types import NULL, Value, check_value, is_null, value_sort_key, value_to_text
+
+#: value -> token id (keyed by raw value under Python ``==``)
+_pool: dict = {}
+
+#: token id -> canonical (first-seen) value
+VALUES: list = []
+
+#: token id -> text rendering (``value_to_text`` of the canonical value)
+TEXTS: list = []
+
+#: token id -> token id of the text rendering (always a str token)
+TEXT_IDS: list = []
+
+#: token id -> deterministic sort key (``value_sort_key``)
+SORT_KEYS: list = []
+
+
+def _add(value: Value) -> int:
+    token = len(VALUES)
+    VALUES.append(value)
+    text = value_to_text(value)
+    TEXTS.append(text)
+    SORT_KEYS.append(value_sort_key(value))
+    _pool[value] = token
+    # after the pool entry, so interning a str (whose text is itself)
+    # terminates immediately instead of recursing
+    TEXT_IDS.append(intern_value(text))
+    return token
+
+
+def intern_value(value: object) -> int:
+    """The token id for *value*, interning it on first sight.
+
+    ``None`` is coerced to :data:`~repro.relational.types.NULL` and invalid
+    value types raise ``TypeError``, exactly as
+    :func:`~repro.relational.types.check_value` does.
+    """
+    try:
+        token = _pool.get(value)
+    except TypeError:
+        check_value(value)  # raises the canonical invalid-value TypeError
+        raise
+    if token is not None:
+        return token
+    checked = check_value(value)
+    if checked is not value:  # None -> NULL coercion may already be pooled
+        token = _pool.get(checked)
+        if token is not None:
+            return token
+    return _add(checked)
+
+
+def probe_value(value: object) -> Optional[int]:
+    """The token id for *value* if it was ever interned, else None.
+
+    Lookup-only: membership tests use this so that probing a relation for a
+    never-seen value does not grow the pool.
+    """
+    try:
+        return _pool.get(value)
+    except TypeError:
+        return None
+
+
+def intern_row(row: Iterable[object]) -> tuple:
+    """Intern every value of *row*, returning the token-id tuple."""
+    return tuple(intern_value(v) for v in row)
+
+
+def token_value(token: int) -> Value:
+    """The canonical value of *token*."""
+    return VALUES[token]
+
+
+def token_text(token: int) -> str:
+    """The text rendering of *token*'s value."""
+    return TEXTS[token]
+
+
+def token_text_id(token: int) -> int:
+    """The token id of *token*'s text rendering."""
+    return TEXT_IDS[token]
+
+
+def pool_size() -> int:
+    """Number of distinct values interned so far (diagnostics)."""
+    return len(VALUES)
+
+
+#: the token id of the NULL sentinel — interned first, so always 0
+NULL_TOKEN: int = intern_value(NULL)
+
+assert NULL_TOKEN == 0 and is_null(VALUES[NULL_TOKEN])

@@ -1,10 +1,24 @@
-"""Immutable relation values.
+"""Immutable relation values, stored columnar over interned tokens.
 
 A :class:`Relation` is a named set of tuples over a fixed attribute list.
 Relations are *canonical*: attributes are stored in sorted order and rows in
 a frozenset, so two relations with the same name, attribute set, and tuple
 set are equal (and hash equal) regardless of construction order.  This is
 what lets the search engine deduplicate whole-database states cheaply.
+
+Since the columnar-kernel rewrite, the primary storage is a frozenset of
+**token-id tuples**: every cell value is interned once per process (see
+:mod:`repro.relational.intern`) and rows hold small integers.  Hashing,
+equality, row deduplication and containment are integer-tuple operations,
+and the text/sort-key data consulted by the search hot loops is shared
+per-token instead of recomputed per relation.  The value-level API
+(:attr:`rows`, :meth:`column_values`, ...) is unchanged: value rows are a
+derived view reconstructed from the tokens on demand.
+
+The :mod:`~repro.relational.caching` columnar kill switch selects between
+the token fast paths and the legacy value/text computations; both produce
+identical results (the token mapping is equality-faithful), so the switch
+is purely a cost-model ablation.
 
 Immutability also makes every derived view (sorted rows, column value sets,
 column text sets, ...) a pure function of the relation, so views are computed
@@ -17,13 +31,63 @@ cache through a returned reference.
 
 from __future__ import annotations
 
+from functools import lru_cache
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import SchemaError, UnknownAttributeError
 from . import caching
+from .intern import (
+    NULL_TOKEN,
+    SORT_KEYS,
+    TEXT_IDS,
+    TEXTS,
+    VALUES,
+    intern_value,
+)
 from .types import NULL, Value, check_value, is_null, value_sort_key, value_to_text
 
+#: sentinel distinguishing "view absent" from legitimately-falsy view values
+#: (``has_nulls`` caches booleans) during view transplantation
+_TRANSPLANT_MISS = object()
+
 Row = tuple[Value, ...]
+
+TokenRow = tuple[int, ...]
+"""One stored row: cell token ids in canonical attribute order."""
+
+
+@lru_cache(maxsize=None)
+def _rename_schema(
+    attrs: tuple[str, ...], pos: int, new: str
+) -> tuple[tuple[str, ...], tuple[int, ...] | None, dict[str, int]]:
+    """Canonicalisation flyweight for single-attribute renames.
+
+    For canonical *attrs* with position *pos* renamed to *new*, returns the
+    child's canonical attribute tuple, the column permutation to apply to
+    token rows (``None`` when positions are unchanged), and the child's
+    attribute index.  Rename edges draw from one problem's small schema
+    vocabulary, so each triple is computed once per process; the returned
+    index dict is shared between relations and must never be mutated
+    (:class:`Relation` treats ``_index`` as read-only).
+    """
+    renamed = list(attrs)
+    renamed[pos] = new
+    order = sorted(range(len(renamed)), key=renamed.__getitem__)
+    canonical = tuple(renamed[i] for i in order)
+    perm = None if order == list(range(len(renamed))) else tuple(order)
+    return canonical, perm, {a: i for i, a in enumerate(canonical)}
+
+
+@lru_cache(maxsize=None)
+def _interned_name_set(names: tuple[str, ...] | frozenset[str]) -> frozenset[int]:
+    """Token ids for a (small, schema-vocabulary) set of names, memoised.
+
+    Attribute/relation-name id sets recur across every state whose schema
+    shares the names; one process-wide entry per distinct name collection
+    replaces a per-relation interning loop.
+    """
+    return frozenset(intern_value(n) for n in names)
 
 
 class Relation:
@@ -40,7 +104,7 @@ class Relation:
     to :data:`~repro.relational.types.NULL`.
     """
 
-    __slots__ = ("_name", "_attributes", "_rows", "_index", "_hash", "_views")
+    __slots__ = ("_name", "_attributes", "_token_rows", "_index", "_hash", "_views")
 
     def __init__(
         self,
@@ -65,22 +129,53 @@ class Relation:
         order = sorted(range(len(attrs)), key=lambda i: attrs[i])
         canonical_attrs = tuple(attrs[i] for i in order)
 
-        canonical_rows: set[Row] = set()
+        arity = len(attrs)
+        token_rows: set[TokenRow] = set()
         for row in rows:
-            values = tuple(check_value(v) for v in row)
-            if len(values) != len(attrs):
+            tokens = tuple(intern_value(v) for v in row)
+            if len(tokens) != arity:
                 raise SchemaError(
-                    f"row {row!r} has arity {len(values)}, "
-                    f"expected {len(attrs)} for relation {name!r}"
+                    f"row {row!r} has arity {len(tokens)}, "
+                    f"expected {arity} for relation {name!r}"
                 )
-            canonical_rows.add(tuple(values[i] for i in order))
+            token_rows.add(tuple(tokens[i] for i in order))
 
         self._name = name
         self._attributes = canonical_attrs
-        self._rows: frozenset[Row] = frozenset(canonical_rows)
+        self._token_rows: frozenset[TokenRow] = frozenset(token_rows)
         self._index = {attr: i for i, attr in enumerate(canonical_attrs)}
-        self._hash = hash((self._name, self._attributes, self._rows))
+        self._hash = hash((self._name, self._attributes, self._token_rows))
         self._views: dict[object, object] = {}
+
+    @classmethod
+    def _from_token_rows(
+        cls,
+        name: str,
+        attributes: tuple[str, ...],
+        token_rows: frozenset[TokenRow],
+        index: dict[str, int] | None = None,
+    ) -> "Relation":
+        """Internal fast constructor: no validation, no re-canonicalisation.
+
+        Callers guarantee *attributes* is already in canonical (sorted)
+        order, *token_rows* is a frozenset of token tuples aligned with it,
+        and the schema invariants (non-empty unique attribute names,
+        non-empty relation name) hold.  The operator fast paths build
+        derived relations through here, skipping per-cell validation and
+        interning entirely.
+        """
+        self = object.__new__(cls)
+        self._name = name
+        self._attributes = attributes
+        self._token_rows = token_rows
+        self._index = (
+            index
+            if index is not None
+            else {attr: i for i, attr in enumerate(attributes)}
+        )
+        self._hash = hash((name, attributes, token_rows))
+        self._views = {}
+        return self
 
     def __getstate__(self) -> dict:
         """Pickle only the defining data — never the memoised views.
@@ -88,12 +183,14 @@ class Relation:
         Search-warm relations carry megabytes of derived views; shipping
         them across a process boundary (the parallel execution layer
         pickles states into workers) would dwarf the data itself.  Views
-        rebuild lazily on first use in the receiving process.
+        rebuild lazily on first use in the receiving process.  Rows are
+        shipped as *values*, never token ids: the intern pool is strictly
+        process-local, and the receiving side re-interns.
         """
         return {
             "name": self._name,
             "attributes": self._attributes,
-            "rows": tuple(self._rows),
+            "rows": tuple(self.rows),
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -104,8 +201,10 @@ class Relation:
 
         The first call under *key* evaluates *compute* and stores the result
         for the relation's lifetime; later calls return the stored object.
-        Stored views must be immutable (tuple/frozenset/str/int).  Respects
-        the :mod:`~repro.relational.caching` ablation switch.
+        Stored views must be immutable (tuple/frozenset/str/int) and never
+        ``None`` — the hottest accessors bypass this method with a plain
+        ``self._views.get(key)`` probe and treat ``None`` as a miss.
+        Respects the :mod:`~repro.relational.caching` ablation switch.
         """
         try:
             return self._views[key]
@@ -158,14 +257,37 @@ class Relation:
     @property
     def attribute_set(self) -> frozenset[str]:
         """Attribute names as a set (memoised)."""
-        return self.cached_view(
-            "attribute_set", lambda: frozenset(self._attributes)
-        )
+        views = self._views
+        hit = views.get("attribute_set")
+        if hit is not None:
+            return hit
+        value = frozenset(self._attributes)
+        if caching.view_caching_enabled():
+            views["attribute_set"] = value
+        return value
 
     @property
     def rows(self) -> frozenset[Row]:
-        """Rows as tuples aligned with :attr:`attributes`."""
-        return self._rows
+        """Rows as value tuples aligned with :attr:`attributes`.
+
+        A derived view of the token storage, memoised unconditionally (it
+        plays the role the primary storage played before the columnar
+        rewrite, so even the cache-ablation arms keep it — the legacy cost
+        model treats value rows as free).
+        """
+        try:
+            return self._views["value_rows"]
+        except KeyError:
+            values = VALUES
+            rows = self._views["value_rows"] = frozenset(
+                tuple(values[t] for t in trow) for trow in self._token_rows
+            )
+            return rows
+
+    @property
+    def token_rows(self) -> frozenset[TokenRow]:
+        """Rows as interned token-id tuples (the primary storage)."""
+        return self._token_rows
 
     @property
     def arity(self) -> int:
@@ -175,16 +297,16 @@ class Relation:
     @property
     def cardinality(self) -> int:
         """Number of tuples."""
-        return len(self._rows)
+        return len(self._token_rows)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._token_rows)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __contains__(self, row: object) -> bool:
-        return row in self._rows
+        return row in self.rows
 
     def has_attribute(self, attr: str) -> bool:
         """Whether *attr* is one of this relation's attributes."""
@@ -204,19 +326,38 @@ class Relation:
     def column(self, attr: str) -> tuple[Value, ...]:
         """All values of *attr*, in deterministic sorted-row order."""
         pos = self.attribute_position(attr)
-        return tuple(row[pos] for row in self.sorted_rows())
+        return tuple(row[pos] for row in self.sorted_rows_view())
 
     def column_values(self, attr: str, include_null: bool = False) -> frozenset[Value]:
         """The set of values appearing in column *attr* (memoised)."""
         pos = self.attribute_position(attr)
 
         def compute() -> frozenset[Value]:
-            values = (row[pos] for row in self._rows)
+            if caching.columnar_kernel_enabled():
+                values = VALUES
+                tokens = self.column_tokens(attr, include_null=include_null)
+                return frozenset(values[t] for t in tokens)
+            values = (row[pos] for row in self.rows)
             if include_null:
                 return frozenset(values)
             return frozenset(v for v in values if not is_null(v))
 
         return self.cached_view(("column_values", attr, include_null), compute)
+
+    def column_tokens(self, attr: str, include_null: bool = False) -> frozenset[int]:
+        """The set of token ids appearing in column *attr* (memoised)."""
+        key = ("column_tokens", attr, include_null)
+        views = self._views
+        hit = views.get(key)
+        if hit is not None:
+            return hit
+        pos = self.attribute_position(attr)
+        tokens = frozenset(trow[pos] for trow in self._token_rows)
+        if not include_null:
+            tokens -= {NULL_TOKEN}
+        if caching.view_caching_enabled():
+            views[key] = tokens
+        return tokens
 
     def column_texts(self, attr: str) -> frozenset[str]:
         """The text forms of the non-NULL values in column *attr* (memoised).
@@ -228,32 +369,124 @@ class Relation:
         self.attribute_position(attr)  # raise early with a precise error
 
         def compute() -> frozenset[str]:
+            if caching.columnar_kernel_enabled():
+                texts = TEXTS
+                return frozenset(texts[i] for i in self.column_text_ids(attr))
             return frozenset(
                 value_to_text(v) for v in self.column_values(attr)
             )
 
         return self.cached_view(("column_texts", attr), compute)
 
+    def column_text_id_sets(self) -> tuple[frozenset[int], ...]:
+        """Per-column text-id sets, aligned with :attr:`attributes` (memoised).
+
+        One tuple view instead of one cache entry per column: probes are an
+        index away, and schema-preserving derivations (renames, projections)
+        transplant the whole view with a single permutation — the member
+        frozensets are shared, never copied.
+        """
+        views = self._views
+        hit = views.get("column_text_id_sets")
+        if hit is not None:
+            return hit
+        text_ids = TEXT_IDS
+        value = tuple(
+            frozenset(text_ids[t] for t in self.column_tokens(attr))
+            for attr in self._attributes
+        )
+        if caching.view_caching_enabled():
+            views["column_text_id_sets"] = value
+        return value
+
+    def column_text_ids(self, attr: str) -> frozenset[int]:
+        """Token ids of the text forms of column *attr*'s non-NULL values.
+
+        The integer-set counterpart of :meth:`column_texts`: the proposal
+        rules intersect this with target-side text-id sets (memoised).
+        """
+        try:
+            pos = self._index[attr]
+        except KeyError:
+            raise UnknownAttributeError(attr, self._name, self._attributes) from None
+        return self.column_text_id_sets()[pos]
+
     def value_set(self, include_null: bool = False) -> frozenset[Value]:
         """The set of all data values appearing anywhere (memoised)."""
 
         def compute() -> frozenset[Value]:
-            values: set[Value] = set()
-            for row in self._rows:
+            if caching.columnar_kernel_enabled():
+                values = VALUES
+                return frozenset(
+                    values[t] for t in self.value_tokens(include_null=include_null)
+                )
+            out: set[Value] = set()
+            for row in self.rows:
                 for v in row:
                     if include_null or not is_null(v):
-                        values.add(v)
-            return frozenset(values)
+                        out.add(v)
+            return frozenset(out)
 
         return self.cached_view(("value_set", include_null), compute)
+
+    def value_tokens(self, include_null: bool = False) -> frozenset[int]:
+        """The set of token ids appearing anywhere (memoised)."""
+
+        def compute() -> frozenset[int]:
+            tokens: set[int] = set()
+            for trow in self._token_rows:
+                tokens.update(trow)
+            if not include_null:
+                tokens.discard(NULL_TOKEN)
+            return frozenset(tokens)
+
+        return self.cached_view(("value_tokens", include_null), compute)
+
+    def value_text_ids(self) -> frozenset[int]:
+        """Token ids of the text forms of all non-NULL values (memoised)."""
+
+        def compute() -> frozenset[int]:
+            text_ids = TEXT_IDS
+            return frozenset(text_ids[t] for t in self.value_tokens())
+
+        return self.cached_view("value_text_ids", compute)
+
+    def attribute_ids(self) -> frozenset[int]:
+        """Token ids of this relation's attribute names (memoised)."""
+        views = self._views
+        hit = views.get("attribute_ids")
+        if hit is not None:
+            return hit
+        value = _interned_name_set(self._attributes)
+        if caching.view_caching_enabled():
+            views["attribute_ids"] = value
+        return value
+
+    def schema_name_ids(self) -> frozenset[int]:
+        """Token ids of the relation name plus attribute names (memoised).
+
+        The demote-proposal rule intersects this with the still-missing
+        target value texts.
+        """
+        views = self._views
+        hit = views.get("schema_name_ids")
+        if hit is not None:
+            return hit
+        value = self.attribute_ids() | {intern_value(self._name)}
+        if caching.view_caching_enabled():
+            views["schema_name_ids"] = value
+        return value
 
     @property
     def has_nulls(self) -> bool:
         """Whether any tuple contains a NULL (memoised)."""
-        return self.cached_view(
-            "has_nulls",
-            lambda: any(any(is_null(v) for v in row) for row in self._rows),
-        )
+
+        def compute() -> bool:
+            if caching.columnar_kernel_enabled():
+                return any(NULL_TOKEN in trow for trow in self._token_rows)
+            return any(any(is_null(v) for v in row) for row in self.rows)
+
+        return self.cached_view("has_nulls", compute)
 
     def sorted_rows(self) -> list[Row]:
         """Rows in a deterministic total order (for display and TNF ids).
@@ -265,15 +498,40 @@ class Relation:
 
     def sorted_rows_view(self) -> tuple[Row, ...]:
         """The memoised, immutable form of :meth:`sorted_rows`."""
-        return self.cached_view(
-            "sorted_rows",
-            lambda: tuple(
+
+        def compute() -> tuple[Row, ...]:
+            if caching.columnar_kernel_enabled():
+                values = VALUES
+                return tuple(
+                    tuple(values[t] for t in trow)
+                    for trow in self.sorted_token_rows()
+                )
+            return tuple(
                 sorted(
-                    self._rows,
+                    self.rows,
                     key=lambda row: tuple(value_sort_key(v) for v in row),
                 )
-            ),
-        )
+            )
+
+        return self.cached_view("sorted_rows", compute)
+
+    def sorted_token_rows(self) -> tuple[TokenRow, ...]:
+        """Token rows in deterministic sorted order (memoised).
+
+        The order matches :meth:`sorted_rows_view`: per-cell
+        ``value_sort_key`` of the canonical token values.
+        """
+
+        def compute() -> tuple[TokenRow, ...]:
+            sort_keys = SORT_KEYS
+            return tuple(
+                sorted(
+                    self._token_rows,
+                    key=lambda trow: tuple(sort_keys[t] for t in trow),
+                )
+            )
+
+        return self.cached_view("sorted_token_rows", compute)
 
     def iter_dicts(self) -> Iterator[dict[str, Value]]:
         """Iterate rows as attribute->value dicts in deterministic order."""
@@ -282,9 +540,74 @@ class Relation:
 
     # -- schema-preserving derivations ----------------------------------------
 
+    def _seed_column_views(
+        self,
+        child: "Relation",
+        positions: Sequence[int] | None = None,
+        columns_only: bool = False,
+    ) -> None:
+        """Transplant memoised views onto a derivation with the same columns.
+
+        *positions* maps each child column index to the parent column it
+        carries (identity when absent).  Per-column text-id sets transfer
+        whenever the child column holds the same value *set* as the parent
+        column — true for renames (rows untouched) and for projections
+        (duplicate-row collapse never removes the last copy of a value) —
+        and the transfer is a single tuple permutation sharing the member
+        frozensets.  Unless *columns_only*, whole-relation cell aggregates
+        (value text ids, has-nulls) transfer too; those are
+        permutation-invariant but not projection-safe.  Callers must hold
+        the view-caching switch enabled.
+        """
+        src = self._views
+        if not src:
+            return
+        dst = child._views
+        # only the views the hot proposal/heuristic paths consume: anything
+        # else rebuilds lazily, and probing for it here would cost more
+        # than the occasional recompute saves
+        cols = src.get("column_text_id_sets")
+        if cols is not None:
+            dst["column_text_id_sets"] = (
+                cols if positions is None else tuple(cols[p] for p in positions)
+            )
+        if columns_only:
+            return
+        miss = _TRANSPLANT_MISS
+        get = src.get
+        for key in ("value_text_ids", "has_nulls"):
+            hit = get(key, miss)
+            if hit is not miss:
+                dst[key] = hit
+
     def renamed(self, new_name: str) -> "Relation":
         """A copy of this relation under a new name."""
-        return Relation(new_name, self._attributes, self._rows)
+        if not caching.columnar_kernel_enabled():
+            return Relation(new_name, self._attributes, self.rows)
+        if not isinstance(new_name, str) or not new_name:
+            raise SchemaError(
+                f"relation name must be a non-empty string, got {new_name!r}"
+            )
+        # token rows and attribute index are shared: same schema, same rows
+        child = Relation._from_token_rows(
+            new_name, self._attributes, self._token_rows, self._index
+        )
+        if caching.view_caching_enabled():
+            self._seed_column_views(child)
+            src, dst = self._views, child._views
+            miss = _TRANSPLANT_MISS
+            # name-independent whole-relation views (rows and schema shared)
+            for key in (
+                "attribute_set",
+                "attribute_ids",
+                "sorted_token_rows",
+                "sorted_rows",
+                "value_rows",
+            ):
+                hit = src.get(key, miss)
+                if hit is not miss:
+                    dst[key] = hit
+        return child
 
     def rename_attribute(self, old: str, new: str) -> "Relation":
         """A copy with attribute *old* renamed to *new*."""
@@ -294,15 +617,84 @@ class Relation:
                 f"cannot rename {old!r} to {new!r}: attribute already exists "
                 f"in relation {self._name!r}"
             )
-        attrs = list(self._attributes)
-        attrs[pos] = new
-        return Relation(self._name, attrs, self._rows)
+        if not caching.columnar_kernel_enabled():
+            attrs = list(self._attributes)
+            attrs[pos] = new
+            return Relation(self._name, attrs, self.rows)
+        if not isinstance(new, str) or not new:
+            raise SchemaError(
+                f"attribute names must be non-empty strings, got {new!r} "
+                f"in {self._name!r}"
+            )
+        canonical_attrs, perm, index = _rename_schema(self._attributes, pos, new)
+        if perm is None:
+            token_rows = self._token_rows  # column positions unchanged
+        else:
+            # The permutation depends only on where *new* sorts among the
+            # remaining attributes, so renames of one column to several
+            # (similarly sorting) names share one permuted row set.
+            views = self._views
+            token_rows = views.get(("permuted_rows", perm))
+            if token_rows is None:
+                token_rows = frozenset(map(itemgetter(*perm), self._token_rows))
+                if caching.view_caching_enabled():
+                    views[("permuted_rows", perm)] = token_rows
+        child = Relation._from_token_rows(
+            self._name, canonical_attrs, token_rows, index
+        )
+        if caching.view_caching_enabled():
+            # transplant inlined from _seed_column_views: renames sit on the
+            # hottest operator path.  Child column i carries parent column
+            # perm[i] (the same permutation applied to the token rows;
+            # identity when shared).
+            src = self._views
+            if src:
+                dst = child._views
+                cols = src.get("column_text_id_sets")
+                if cols is not None:
+                    dst["column_text_id_sets"] = (
+                        cols if perm is None else tuple(map(cols.__getitem__, perm))
+                    )
+                hit = src.get("value_text_ids")
+                if hit is not None:
+                    dst["value_text_ids"] = hit
+                hit = src.get("has_nulls", _TRANSPLANT_MISS)
+                if hit is not _TRANSPLANT_MISS:
+                    dst["has_nulls"] = hit
+        return child
 
     def project(self, attrs: Sequence[str]) -> "Relation":
         """Projection onto *attrs* (set semantics: duplicate rows collapse)."""
         positions = [self.attribute_position(a) for a in attrs]
-        rows = {tuple(row[p] for p in positions) for row in self._rows}
-        return Relation(self._name, attrs, rows)
+        if not caching.columnar_kernel_enabled():
+            rows = {tuple(row[p] for p in positions) for row in self.rows}
+            return Relation(self._name, attrs, rows)
+        attrs = tuple(attrs)
+        if not attrs:
+            raise SchemaError(
+                f"relation {self._name!r} must have at least one attribute"
+            )
+        if len(set(attrs)) != len(attrs):
+            duplicates = sorted({a for a in attrs if attrs.count(a) > 1})
+            raise SchemaError(
+                f"duplicate attributes {duplicates} in relation {self._name!r}"
+            )
+        order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+        canonical_attrs = tuple(attrs[i] for i in order)
+        canonical_positions = [positions[i] for i in order]
+        if len(canonical_positions) == 1:
+            pos = canonical_positions[0]
+            token_rows = frozenset((trow[pos],) for trow in self._token_rows)
+        else:
+            token_rows = frozenset(
+                map(itemgetter(*canonical_positions), self._token_rows)
+            )
+        child = Relation._from_token_rows(self._name, canonical_attrs, token_rows)
+        if caching.view_caching_enabled():
+            # duplicate-row collapse never removes the last copy of a value,
+            # so surviving columns keep their exact value sets
+            self._seed_column_views(child, canonical_positions, columns_only=True)
+        return child
 
     def drop_attribute(self, attr: str) -> "Relation":
         """Projection dropping a single attribute (the FIRA π̄ operator)."""
@@ -323,11 +715,30 @@ class Relation:
             raise SchemaError(
                 f"cannot extend {self._name!r} with {attr!r}: attribute already exists"
             )
-        new_rows = []
-        for row in self._rows:
-            row_dict = dict(zip(self._attributes, row))
-            new_rows.append(row + (check_value(compute(row_dict)),))
-        return Relation(self._name, self._attributes + (attr,), new_rows)
+        if not caching.columnar_kernel_enabled():
+            new_rows = []
+            for row in self.rows:
+                row_dict = dict(zip(self._attributes, row))
+                new_rows.append(row + (check_value(compute(row_dict)),))
+            return Relation(self._name, self._attributes + (attr,), new_rows)
+        if not isinstance(attr, str) or not attr:
+            raise SchemaError(
+                f"attribute names must be non-empty strings, got {attr!r} "
+                f"in {self._name!r}"
+            )
+        attrs = self._attributes + (attr,)
+        order = sorted(range(len(attrs)), key=lambda i: attrs[i])
+        canonical_attrs = tuple(attrs[i] for i in order)
+        values = VALUES
+        attributes = self._attributes
+        extended: list[TokenRow] = []
+        for trow in self._token_rows:
+            row_dict = {a: values[t] for a, t in zip(attributes, trow)}
+            tokens = trow + (intern_value(compute(row_dict)),)
+            extended.append(tuple(tokens[i] for i in order))
+        return Relation._from_token_rows(
+            self._name, canonical_attrs, frozenset(extended)
+        )
 
     def with_rows(self, rows: Iterable[Row]) -> "Relation":
         """A copy with the given canonical-order rows replacing the current ones."""
@@ -335,12 +746,23 @@ class Relation:
 
     def filter_rows(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
         """Relational selection: keep rows whose dict satisfies *predicate*."""
-        kept = [
-            row
-            for row in self._rows
-            if predicate(dict(zip(self._attributes, row)))
-        ]
-        return Relation(self._name, self._attributes, kept)
+        if not caching.columnar_kernel_enabled():
+            kept = [
+                row
+                for row in self.rows
+                if predicate(dict(zip(self._attributes, row)))
+            ]
+            return Relation(self._name, self._attributes, kept)
+        values = VALUES
+        attributes = self._attributes
+        kept_tokens = frozenset(
+            trow
+            for trow in self._token_rows
+            if predicate({a: values[t] for a, t in zip(attributes, trow)})
+        )
+        return Relation._from_token_rows(
+            self._name, self._attributes, kept_tokens, self._index
+        )
 
     # -- comparisons -----------------------------------------------------------
 
@@ -354,10 +776,22 @@ class Relation:
         if not other.attribute_set <= self.attribute_set:
             return False
 
+        if caching.columnar_kernel_enabled():
+            def compute_tokens() -> frozenset[TokenRow]:
+                positions = [self._index[a] for a in other.attributes]
+                return frozenset(
+                    tuple(trow[p] for p in positions) for trow in self._token_rows
+                )
+
+            projected_tokens = self.cached_view(
+                ("token_projection", other.attributes), compute_tokens
+            )
+            return other.token_rows <= projected_tokens
+
         def compute() -> frozenset[Row]:
             positions = [self.attribute_position(a) for a in other.attributes]
             return frozenset(
-                tuple(row[p] for p in positions) for row in self._rows
+                tuple(row[p] for p in positions) for row in self.rows
             )
 
         projected = self.cached_view(("projection", other.attributes), compute)
@@ -370,7 +804,7 @@ class Relation:
             self._hash == other._hash
             and self._name == other._name
             and self._attributes == other._attributes
-            and self._rows == other._rows
+            and self._token_rows == other._token_rows
         )
 
     def __hash__(self) -> int:

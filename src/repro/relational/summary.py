@@ -1,0 +1,331 @@
+"""Delta-incremental TNF summaries for the heuristics.
+
+Every paper heuristic is a function of a handful of aggregates over the
+state's TNF view: the (REL, ATT, VALUE) triple multiset (term vector), its
+sum of squared counts (for vector norms), and per-level cell counts (for
+the π_REL / π_ATT / π_VALUE projections).  A :class:`DatabaseSummary`
+bundles exactly those aggregates, keyed by intern-pool token ids.
+
+Summaries compose additively over relations (a database's triples are the
+disjoint-by-name union of its members'), so a child search state's summary
+is its parent's summary patched by the step's
+:class:`~repro.fira.delta.StateDelta`: subtract the removed relations'
+contributions, add the added ones'.  Per-relation contributions are
+memoised on the :class:`~repro.relational.relation.Relation` value itself,
+so the cost of one search step's summary is proportional to the *changed*
+cells, not the whole database.
+
+Successor generation stashes ``(parent, delta)`` provenance on each child
+(see :func:`attach_provenance`); :func:`database_summary` resolves a state's
+summary by walking that chain up to the nearest summarised ancestor and
+folding the deltas forward — in practice one hop, since heuristics evaluate
+every generated child.  States with no provenance (roots, deserialised
+states, direct API use) fall back to a full build.  The
+:mod:`~repro.relational.caching` incremental kill switch governs whether
+search threads provenance at all; this module itself is always exact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, KeysView
+
+from . import caching
+from .database import Database
+from .intern import NULL_TOKEN, TEXT_IDS, TEXTS, intern_value
+from .relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fira.delta import StateDelta
+
+#: cached-view keys on Database
+SUMMARY_VIEW_KEY = "db_summary"
+PROVENANCE_VIEW_KEY = "summary_provenance"
+
+#: cached-view key on Relation
+_CONTRIBUTION_KEY = "tnf_summary"
+
+TripleKey = tuple[int, int, int]
+"""(relation-name token, attribute-name token, value-text token)."""
+
+
+class RelationSummary:
+    """One relation's additive contribution to a database summary."""
+
+    __slots__ = ("triples", "rel_cells", "att_cells", "val_cells", "cells")
+
+    def __init__(
+        self,
+        triples: dict[TripleKey, int],
+        rel_cells: dict[int, int],
+        att_cells: dict[int, int],
+        val_cells: dict[int, int],
+        cells: int,
+    ) -> None:
+        self.triples = triples
+        self.rel_cells = rel_cells
+        self.att_cells = att_cells
+        self.val_cells = val_cells
+        self.cells = cells
+
+
+def relation_summary(rel: Relation) -> RelationSummary:
+    """The TNF contribution of *rel* (memoised on the relation value).
+
+    NULL cells contribute nothing, matching the TNF encoding; a relation
+    whose cells are all NULL (or that is empty) therefore contributes no
+    π_REL entry either, exactly as in
+    :func:`~repro.relational.tnf.tnf_projections`.
+    """
+
+    def compute() -> RelationSummary:
+        text_ids = TEXT_IDS
+        rel_token = intern_value(rel.name)
+        att_tokens = [intern_value(a) for a in rel.attributes]
+        triples: dict[TripleKey, int] = {}
+        att_cells: dict[int, int] = {}
+        val_cells: dict[int, int] = {}
+        cells = 0
+        for trow in rel.token_rows:
+            for att_token, token in zip(att_tokens, trow):
+                if token == NULL_TOKEN:
+                    continue
+                value_id = text_ids[token]
+                key = (rel_token, att_token, value_id)
+                triples[key] = triples.get(key, 0) + 1
+                att_cells[att_token] = att_cells.get(att_token, 0) + 1
+                val_cells[value_id] = val_cells.get(value_id, 0) + 1
+                cells += 1
+        rel_cells = {rel_token: cells} if cells else {}
+        return RelationSummary(triples, rel_cells, att_cells, val_cells, cells)
+
+    return rel.cached_view(_CONTRIBUTION_KEY, compute)
+
+
+def _add_counts(target: dict, source: dict) -> None:
+    get = target.get
+    for key, count in source.items():
+        target[key] = get(key, 0) + count
+
+
+def _subtract_counts(target: dict, source: dict) -> None:
+    for key, count in source.items():
+        remaining = target[key] - count
+        if remaining:
+            target[key] = remaining
+        else:
+            del target[key]
+
+
+def _add_triples(target: dict, source: dict, sum_sq: int) -> int:
+    get = target.get
+    for key, count in source.items():
+        old = get(key, 0)
+        new = old + count
+        target[key] = new
+        sum_sq += new * new - old * old
+    return sum_sq
+
+
+def _subtract_triples(target: dict, source: dict, sum_sq: int) -> int:
+    for key, count in source.items():
+        old = target[key]
+        new = old - count
+        if new:
+            target[key] = new
+        else:
+            del target[key]
+        sum_sq += new * new - old * old
+    return sum_sq
+
+
+class DatabaseSummary:
+    """The heuristic-relevant aggregates of one database state.
+
+    Attributes:
+        triples: sparse term vector — (REL, ATT, VALUE) token-id triple
+            counts; zero entries are always deleted, so key membership is
+            the support.
+        rel_cells / att_cells / val_cells: non-NULL cell counts per
+            relation-name / attribute-name / value-text token; key
+            membership gives the π_REL / π_ATT / π_VALUE projections.
+        sum_sq: Σ count² over :attr:`triples` — the squared L2 norm of the
+            term vector, maintained exactly (integer arithmetic).
+        total_cells: total non-NULL cell count.
+    """
+
+    __slots__ = (
+        "triples", "rel_cells", "att_cells", "val_cells", "sum_sq", "total_cells"
+    )
+
+    def __init__(
+        self,
+        triples: dict[TripleKey, int],
+        rel_cells: dict[int, int],
+        att_cells: dict[int, int],
+        val_cells: dict[int, int],
+        sum_sq: int,
+        total_cells: int,
+    ) -> None:
+        self.triples = triples
+        self.rel_cells = rel_cells
+        self.att_cells = att_cells
+        self.val_cells = val_cells
+        self.sum_sq = sum_sq
+        self.total_cells = total_cells
+
+    @classmethod
+    def from_database(cls, db: Database) -> "DatabaseSummary":
+        """Full (non-incremental) build from the member relations."""
+        return cls.from_contributions(relation_summary(rel) for rel in db)
+
+    @classmethod
+    def from_contributions(
+        cls, contributions: Iterable[RelationSummary]
+    ) -> "DatabaseSummary":
+        triples: dict[TripleKey, int] = {}
+        rel_cells: dict[int, int] = {}
+        att_cells: dict[int, int] = {}
+        val_cells: dict[int, int] = {}
+        total = 0
+        for contribution in contributions:
+            _add_counts(triples, contribution.triples)
+            _add_counts(rel_cells, contribution.rel_cells)
+            _add_counts(att_cells, contribution.att_cells)
+            _add_counts(val_cells, contribution.val_cells)
+            total += contribution.cells
+        sum_sq = sum(count * count for count in triples.values())
+        return cls(triples, rel_cells, att_cells, val_cells, sum_sq, total)
+
+    def apply_delta(self, delta: "StateDelta") -> "DatabaseSummary":
+        """A new summary with *delta*'s relations subtracted/added.
+
+        Cost: one dict copy of each aggregate plus work proportional to the
+        changed relations' cells — independent of the database size when
+        the step touches one small relation.
+        """
+        triples = dict(self.triples)
+        rel_cells = dict(self.rel_cells)
+        att_cells = dict(self.att_cells)
+        val_cells = dict(self.val_cells)
+        sum_sq = self.sum_sq
+        total = self.total_cells
+        for rel in delta.removed:
+            contribution = relation_summary(rel)
+            sum_sq = _subtract_triples(triples, contribution.triples, sum_sq)
+            _subtract_counts(rel_cells, contribution.rel_cells)
+            _subtract_counts(att_cells, contribution.att_cells)
+            _subtract_counts(val_cells, contribution.val_cells)
+            total -= contribution.cells
+        for rel in delta.added:
+            contribution = relation_summary(rel)
+            sum_sq = _add_triples(triples, contribution.triples, sum_sq)
+            _add_counts(rel_cells, contribution.rel_cells)
+            _add_counts(att_cells, contribution.att_cells)
+            _add_counts(val_cells, contribution.val_cells)
+            total += contribution.cells
+        return DatabaseSummary(
+            triples, rel_cells, att_cells, val_cells, sum_sq, total
+        )
+
+    # -- projections and views -------------------------------------------------
+
+    @property
+    def rel_ids(self) -> KeysView[int]:
+        """π_REL as a token-id key view."""
+        return self.rel_cells.keys()
+
+    @property
+    def att_ids(self) -> KeysView[int]:
+        """π_ATT as a token-id key view."""
+        return self.att_cells.keys()
+
+    @property
+    def val_ids(self) -> KeysView[int]:
+        """π_VALUE as a token-id key view."""
+        return self.val_cells.keys()
+
+    def dot(self, other_triples: dict[TripleKey, int]) -> int:
+        """Exact inner product with another sparse triple vector."""
+        if len(other_triples) > len(self.triples):
+            small, large = self.triples, other_triples
+        else:
+            small, large = other_triples, self.triples
+        get = large.get
+        return sum(count * get(key, 0) for key, count in small.items())
+
+    def to_database_string(self) -> str:
+        """The §3 string view rebuilt from the triple counts.
+
+        Identical to :func:`~repro.relational.tnf.database_string`: the
+        multiset of per-cell ``REL + ATT + VALUE`` strings, sorted and
+        concatenated.
+        """
+        texts = TEXTS
+        parts: list[str] = []
+        for (rel_id, att_id, val_id), count in self.triples.items():
+            term = texts[rel_id] + texts[att_id] + texts[val_id]
+            if count == 1:
+                parts.append(term)
+            else:
+                parts.extend([term] * count)
+        parts.sort()
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseSummary(rels={len(self.rel_cells)}, "
+            f"atts={len(self.att_cells)}, vals={len(self.val_cells)}, "
+            f"triples={len(self.triples)}, cells={self.total_cells})"
+        )
+
+
+def attach_provenance(
+    child: Database, parent: Database, delta: "StateDelta"
+) -> None:
+    """Record how *child* was derived, for lazy summary resolution.
+
+    A no-op when the child already has a summary or provenance (first
+    derivation wins — any valid parent works), and when view caching is
+    ablated (the recompute world must not accumulate state).
+    """
+    if not caching.view_caching_enabled():
+        return
+    views = child._views
+    if SUMMARY_VIEW_KEY in views or PROVENANCE_VIEW_KEY in views:
+        return
+    views[PROVENANCE_VIEW_KEY] = (parent, delta)
+
+
+def database_summary(db: Database) -> DatabaseSummary:
+    """The summary of *db*, derived incrementally where provenance allows.
+
+    Walks the ``(parent, delta)`` provenance chain up to the nearest state
+    with a materialised summary (or, failing that, a provenance-free state,
+    which gets a full build) and folds the deltas forward, memoising every
+    intermediate summary.  With view caching ablated this degenerates to a
+    full build per call, preserving the recompute cost model.
+    """
+    summary = db._views.get(SUMMARY_VIEW_KEY)
+    if summary is not None:
+        return summary
+    pending: list[tuple[Database, "StateDelta"]] = []
+    current = db
+    while True:
+        provenance = current._views.get(PROVENANCE_VIEW_KEY)
+        if provenance is None:
+            summary = DatabaseSummary.from_database(current)
+            if caching.view_caching_enabled():
+                current._views[SUMMARY_VIEW_KEY] = summary
+            break
+        parent, delta = provenance
+        pending.append((current, delta))
+        summary = parent._views.get(SUMMARY_VIEW_KEY)
+        if summary is not None:
+            break
+        current = parent
+    caching_on = caching.view_caching_enabled()
+    for node, delta in reversed(pending):
+        summary = summary.apply_delta(delta)
+        if caching_on:
+            node._views[SUMMARY_VIEW_KEY] = summary
+    return summary

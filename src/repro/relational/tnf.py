@@ -17,7 +17,9 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..errors import TNFError
+from . import caching
 from .database import Database
+from .intern import NULL_TOKEN, TEXTS, VALUES
 from .relation import Relation
 from .types import Value, is_null, value_to_text
 
@@ -43,6 +45,19 @@ def tnf_cells(db: Database) -> tuple[TNFCell, ...]:
     def compute() -> tuple[TNFCell, ...]:
         cells: list[TNFCell] = []
         tid_counter = 0
+        if caching.columnar_kernel_enabled():
+            values = VALUES
+            for rel in db:
+                attributes = rel.attributes
+                name = rel.name
+                for trow in rel.sorted_token_rows():
+                    tid_counter += 1
+                    tid = f"t{tid_counter}"
+                    for attr, token in zip(attributes, trow):
+                        if token == NULL_TOKEN:
+                            continue
+                        cells.append((tid, name, attr, values[token]))
+            return tuple(cells)
         for rel in db:
             attributes = rel.attributes
             for row in rel.sorted_rows_view():
@@ -117,13 +132,26 @@ def tnf_triples(db: Database) -> tuple[tuple[str, str, str], ...]:
     This is the term-vector view of §3: each database is a bag of
     (relation, attribute, value) token triples.  Memoised on *db*.
     """
-    return db.cached_view(
-        "tnf_triples",
-        lambda: tuple(
+
+    def compute() -> tuple[tuple[str, str, str], ...]:
+        if caching.columnar_kernel_enabled():
+            texts = TEXTS
+            triples: list[tuple[str, str, str]] = []
+            for rel in db:
+                attributes = rel.attributes
+                name = rel.name
+                for trow in rel.sorted_token_rows():
+                    for attr, token in zip(attributes, trow):
+                        if token == NULL_TOKEN:
+                            continue
+                        triples.append((name, attr, texts[token]))
+            return tuple(triples)
+        return tuple(
             (rel, att, value_to_text(value))
             for (_tid, rel, att, value) in tnf_cells(db)
-        ),
-    )
+        )
+
+    return db.cached_view("tnf_triples", compute)
 
 
 def database_string(db: Database) -> str:

@@ -37,6 +37,7 @@ eviction counts and per-phase timings land in
 from __future__ import annotations
 
 from collections import OrderedDict
+from functools import lru_cache
 from time import perf_counter
 from typing import Iterable, Sequence
 
@@ -59,9 +60,13 @@ from ..errors import (
     SchemaError,
     SearchCancelled,
 )
+from ..fira.delta import StateDelta
 from ..obs.events import CACHE_HIT, CACHE_MISS, GENERATE, GOAL_TEST
+from ..relational import caching
 from ..relational.database import Database
-from ..relational.relation import Relation
+from ..relational.intern import intern_value
+from ..relational.relation import Relation, _interned_name_set
+from ..relational.summary import attach_provenance
 from ..semantics.correspondence import Correspondence
 from ..semantics.functions import FunctionRegistry, builtin_registry
 from .cancel import CancelToken
@@ -83,6 +88,42 @@ _FAMILY_ORDER: dict[str, int] = {
 }
 
 _RESERVED_ATTRS = (DEMOTE_REL_ATTR, DEMOTE_ATT_ATTR)
+
+# Distinguishes "no cached verdict" from a cached False in the goal table
+# (goal verdicts are overwhelmingly False, so a None-probe would pay a
+# second lookup on virtually every hit).
+_GOAL_MISS = object()
+
+
+# Flyweight constructors for the operators proposed in per-attribute loops.
+# Operators are frozen values over a small schema vocabulary (relation and
+# attribute names of one problem), so proposal can reuse one instance per
+# argument triple instead of re-running a dataclass __init__ once per
+# expansion.  Unbounded caches are safe: the key space is the cross product
+# of schema names, which is tiny and process-stable.
+@lru_cache(maxsize=None)
+def _rename_attribute_op(relation: str, old: str, new: str) -> RenameAttribute:
+    return RenameAttribute(relation, old, new)
+
+
+@lru_cache(maxsize=None)
+def _sorted_names(names: frozenset[str]) -> tuple[str, ...]:
+    """Deterministic ordering of a schema-vocabulary name set, memoised.
+
+    The proposal rules enumerate "wanted" attribute/relation sets in sorted
+    order; the same small sets recur across thousands of expansions.
+    """
+    return tuple(sorted(names))
+
+
+@lru_cache(maxsize=None)
+def _dereference_op(relation: str, pointer: str, new: str) -> Dereference:
+    return Dereference(relation, pointer, new)
+
+
+@lru_cache(maxsize=None)
+def _promote_op(relation: str, name_attr: str, value_attr: str) -> Promote:
+    return Promote(relation, name_attr, value_attr)
 
 
 class MappingProblem:
@@ -118,6 +159,12 @@ class MappingProblem:
         self.registry = registry if registry is not None else builtin_registry()
         self.config = config if config is not None else SearchConfig()
         self.cancel_token = cancel
+        #: when True, successor generation attaches ``(parent, delta)``
+        #: provenance to each child state for the incremental-heuristic
+        #: layer (see :mod:`repro.relational.summary`).  The search engine
+        #: switches this on only when the heuristic wants summaries and the
+        #: incremental kill switch is enabled.
+        self.track_deltas = False
         for corr in self.correspondences:
             corr.check_signature(self.registry)
 
@@ -128,6 +175,10 @@ class MappingProblem:
             rel.name: rel.attribute_set for rel in target
         }
         self._target_value_texts = target.value_texts()
+        self._target_value_text_ids = target.value_text_ids()
+        self._target_rel_ids = frozenset(
+            intern_value(name) for name in self._target_rels
+        )
 
         # Transposition table (successor lists), goal-verdict table, and the
         # state intern table (canonical object per state value, so re-derived
@@ -137,6 +188,29 @@ class MappingProblem:
         ] = OrderedDict()
         self._goal_cache: OrderedDict[Database, bool] = OrderedDict()
         self._interned: OrderedDict[Database, Database] = OrderedDict()
+        # Per-relation proposal table: promote/dereference/merge moves and
+        # partition/demote candidate token sets depend only on the relation
+        # *value* (plus this problem's fixed target views), never on the
+        # rest of the state — and operators pass untouched relations through
+        # by reference, so consecutive states share almost all relations.
+        # Memoising per relation value turns the per-expansion proposal cost
+        # from O(state cells) into O(changed cells).  Columnar-kernel only
+        # (see _move_caching_enabled); also gated by the same
+        # ``cache_successors`` knob as the transposition table.
+        self._relation_move_cache: OrderedDict[tuple, object] = OrderedDict()
+        # Snapshot of _move_caching_enabled(), refreshed once per proposal
+        # pass (the hot loops read an attribute instead of re-consulting
+        # the kill switch per probe; flips between searches still apply).
+        self._moves_cached = False
+        # Fixed per problem: which non-symmetry families the config allows
+        # (the static bundle shape — see _static_moves).
+        self._partition_allowed = self.config.allows("partition")
+        self._demote_allowed = self.config.allows("demote")
+        self._static_families = tuple(
+            family
+            for family in ("promote", "partition", "merge", "deref", "demote")
+            if self.config.allows(family)
+        )
 
     def __getstate__(self) -> dict:
         """Pickle the problem without its memo tables.
@@ -153,6 +227,7 @@ class MappingProblem:
         state["_successor_cache"] = OrderedDict()
         state["_goal_cache"] = OrderedDict()
         state["_interned"] = OrderedDict()
+        state["_relation_move_cache"] = OrderedDict()
         # Cancel tokens may wrap process-local synchronisation primitives;
         # cancellation never crosses a pickle boundary implicitly.
         state["cancel_token"] = None
@@ -168,10 +243,47 @@ class MappingProblem:
         return self.source
 
     def clear_caches(self) -> None:
-        """Drop the transposition, goal-verdict, and intern tables."""
+        """Drop the transposition, goal-verdict, intern, and proposal tables."""
         self._successor_cache.clear()
         self._goal_cache.clear()
         self._interned.clear()
+        self._relation_move_cache.clear()
+
+    def _move_caching_enabled(self) -> bool:
+        """Whether per-relation proposal views are memoised.
+
+        Move caching is a columnar-kernel feature: with the kill switch
+        off, proposals are rebuilt per expansion exactly as the
+        pre-columnar implementation did, so the legacy ablation arms
+        measure the original cost shape.  :meth:`_propose` snapshots this
+        into ``_moves_cached`` once per pass for the hot loops.
+        """
+        return self.config.cache_successors and caching.columnar_kernel_enabled()
+
+    def _relation_view(self, key: tuple, rel: Relation, build) -> object:
+        """Memoise a per-relation proposal view (LRU, capacity-bound).
+
+        *key* is chosen by the caller: data-dependent views key on the
+        relation *value*, schema-only views (rename groups, drops, merges,
+        demote candidates) key on ``(name, attributes, ...)`` so they are
+        shared across states whose relations differ only in data.  Only
+        ever populated in columnar mode (see :meth:`_move_caching_enabled`),
+        so entries are always token-set shaped; a mid-process kill-switch
+        flip simply bypasses the cache.
+        """
+        if not self._moves_cached:
+            return build(rel)
+        cache = self._relation_move_cache
+        value = cache.get(key)
+        capacity = self.config.cache_capacity
+        if value is not None:
+            if capacity is not None:  # LRU order only matters when bounded
+                cache.move_to_end(key)
+            return value
+        value = cache[key] = build(rel)
+        if capacity is not None and len(cache) > capacity:
+            cache.popitem(last=False)
+        return value
 
     def _intern(self, state: Database) -> Database:
         """The canonical object for *state* (first-seen equal value wins).
@@ -183,11 +295,12 @@ class MappingProblem:
         by value.
         """
         interned = self._interned.get(state)
+        capacity = self.config.cache_capacity
         if interned is not None:
-            self._interned.move_to_end(state)
+            if capacity is not None:  # LRU order only matters when bounded
+                self._interned.move_to_end(state)
             return interned
         self._interned[state] = state
-        capacity = self.config.cache_capacity
         if capacity is not None and len(self._interned) > capacity:
             self._interned.popitem(last=False)
         return state
@@ -209,15 +322,16 @@ class MappingProblem:
                     tracer.emit(GOAL_TEST, verdict=verdict)
                 return verdict
             cache = self._goal_cache
-            verdict = cache.get(state)
-            if verdict is not None or state in cache:
-                cache.move_to_end(state)
+            verdict = cache.get(state, _GOAL_MISS)
+            if verdict is not _GOAL_MISS:
+                if self.config.cache_capacity is not None:
+                    cache.move_to_end(state)
                 if stats is not None:
                     stats.goal_cache_hits += 1
                 if tracer is not None and tracer.enabled:
                     tracer.emit(CACHE_HIT, cache="goal")
-                    tracer.emit(GOAL_TEST, verdict=bool(verdict), cached=True)
-                return bool(verdict)
+                    tracer.emit(GOAL_TEST, verdict=verdict, cached=True)
+                return verdict
             verdict = state.contains(self.target)
             cache[state] = verdict
             if stats is not None:
@@ -277,7 +391,8 @@ class MappingProblem:
             cache = self._successor_cache
             hit = cache.get(key)
             if hit is not None:
-                cache.move_to_end(key)
+                if self.config.cache_capacity is not None:
+                    cache.move_to_end(key)
                 if stats is not None:
                     stats.successor_cache_hits += 1
                     stats.generated(len(hit))
@@ -339,6 +454,7 @@ class MappingProblem:
         moves = self._propose(state, last_op)
         moves.sort(key=lambda op: (_FAMILY_ORDER.get(op.keyword, 99), str(op)))
         intern = self.config.cache_successors
+        track = self.track_deltas
         out: list[tuple[Operator, Database]] = []
         seen: set[Database] = {state}
         for op in moves:
@@ -349,39 +465,129 @@ class MappingProblem:
             if child in seen:
                 continue  # no-op or duplicate of an earlier move
             seen.add(child)
-            out.append((op, self._intern(child) if intern else child))
+            canonical = self._intern(child) if intern else child
+            if track:
+                # The identity sweep needs the freshly applied child (its
+                # untouched relations are the parent's objects); the summary
+                # it implies is a value property, so it transfers to the
+                # canonical object unchanged.
+                attach_provenance(canonical, state, StateDelta.between(state, child))
+            out.append((op, canonical))
         return out
 
     # -- proposal rules -----------------------------------------------------------
 
     def _propose(self, state: Database, last_op: Operator | None) -> list[Operator]:
+        """All applicable moves from *state* (order-free; callers sort).
+
+        Symmetry-broken families (attribute renames, drops) and relation
+        renames consult *last_op*; everything else is served from one
+        per-relation "static bundle" probe — see :meth:`_static_moves`.
+        """
         config = self.config
+        prune = config.prune_targets
+        self._moves_cached = self._move_caching_enabled()
         moves: list[Operator] = []
-        state_atts = state.attribute_names()
-        state_rels = frozenset(state.relation_names)
-        missing_atts = self._target_atts - state_atts
-        missing_rels = self._target_rels - state_rels
+        missing_rels = self._target_rels.difference(state.relation_name_view())
 
         if config.allows("rename_att"):
             moves.extend(self._propose_attribute_renames(state, last_op))
-        if config.allows("rename_rel") and (missing_rels or not config.prune_targets):
+        if config.allows("rename_rel") and (missing_rels or not prune):
             moves.extend(self._propose_relation_renames(state, missing_rels, last_op))
         if config.allows("apply"):
             moves.extend(self._propose_lambdas(state, last_op))
-        if config.allows("promote"):
-            moves.extend(self._propose_promotes(state))
-        if config.allows("partition") and (missing_rels or not config.prune_targets):
-            moves.extend(self._propose_partitions(state, missing_rels))
-        if config.allows("merge"):
-            moves.extend(self._propose_merges(state))
         if config.allows("drop"):
             moves.extend(self._propose_drops(state, last_op))
-        if config.allows("deref"):
-            moves.extend(self._propose_dereferences(state))
-        if config.allows("demote"):
-            moves.extend(self._propose_demotes(state))
+
+        if self._static_families:
+            demote_missing: frozenset = frozenset()
+            if self._demote_allowed and prune:
+                if caching.columnar_kernel_enabled():
+                    demote_missing = (
+                        self._target_value_text_ids - state.value_text_ids()
+                    )
+                else:
+                    demote_missing = (
+                        self._target_value_texts - state.value_texts()
+                    )
+            view = self._relation_view
+            data_build = self._data_moves
+            schema_build = self._schema_moves
+            for rel in state:
+                promote, deref = view(("moves", rel), rel, data_build)
+                merge, demote = view(
+                    ("schema", rel.name, rel.attributes, rel.has_nulls),
+                    rel,
+                    schema_build,
+                )
+                moves.extend(promote)
+                moves.extend(merge)
+                moves.extend(deref)
+                if demote is None or not demote_missing.isdisjoint(demote):
+                    moves.append(Demote(rel.name))
+
+        if self._partition_allowed and (missing_rels or not prune):
+            moves.extend(self._propose_partitions(state, missing_rels))
         if config.allows("product"):
             moves.extend(self._propose_products(state))
+        return moves
+
+    def _data_moves(self, rel: Relation) -> tuple[tuple, tuple]:
+        """Promote and dereference moves: the data-dependent bundle.
+
+        Both families test column *contents* against target token sets, so
+        their probe keys on the relation value.  (Partitions stay separate:
+        they are gated on missing target relations, and folding them in
+        would charge their candidate computation to states the original
+        rule never touched.)  Families the config disallows contribute
+        empty entries, so the bundle shape is fixed per problem.
+        """
+        config = self.config
+        promote = self._promote_moves(rel) if config.allows("promote") else ()
+        deref = self._deref_moves(rel) if config.allows("deref") else ()
+        return (promote, deref)
+
+    def _schema_moves(self, rel: Relation) -> tuple[tuple, frozenset | None]:
+        """Merge moves and demote candidates: the schema-only bundle.
+
+        Neither family inspects column contents — merges depend on the
+        attribute names plus the has-nulls bit, demote candidates on the
+        schema names — so the probe keys on ``(name, attributes,
+        has_nulls)`` and is shared across states whose relations differ
+        only in data.  Demote candidates: ``None`` = always fires
+        (non-prune), empty = never (disallowed).
+        """
+        config = self.config
+        merge = self._merge_moves(rel) if config.allows("merge") else ()
+        demote: frozenset | None
+        if self._demote_allowed:
+            demote = self._demote_candidates(rel) if config.prune_targets else None
+        else:
+            demote = frozenset()
+        return (merge, demote)
+
+    def _propose_partitions(
+        self, state: Database, missing_rels: frozenset[str]
+    ) -> list[Operator]:
+        moves: list[Operator] = []
+        if not self.config.prune_targets:
+            for rel in state:
+                for attr in rel.attributes:
+                    moves.append(Partition(rel.name, attr))
+            return moves
+        # Candidate tokens per column are relation-local; only the
+        # "is the candidate still missing" test depends on the state.
+        missing: frozenset | set
+        if caching.columnar_kernel_enabled():
+            missing = _interned_name_set(missing_rels)
+        else:
+            missing = missing_rels
+        view = self._relation_view
+        build = self._partition_candidates
+        for rel in state:
+            for attr, cand in view(("partition", rel), rel, build):
+                if not missing.isdisjoint(cand):
+                    moves.append(Partition(rel.name, attr))
         return moves
 
     def _missing_atts_for(self, rel: Relation) -> frozenset[str]:
@@ -395,44 +601,105 @@ class MappingProblem:
 
     def _propose_attribute_renames(
         self, state: Database, last_op: Operator | None
-    ) -> Iterable[Operator]:
+    ) -> list[Operator]:
+        # The symmetry break ("canonical order within a run of renames")
+        # depends on the last operator only through a floor attribute, so
+        # the cache holds moves grouped by renamed-from attribute and the
+        # floor filter runs over the (short) group list per state.
+        follows_rename = self.config.break_symmetry and isinstance(
+            last_op, RenameAttribute
+        )
+        cached = self._moves_cached
+        view = self._relation_view
+        build = self._attribute_rename_groups
+        moves: list[Operator] = []
         for rel in state:
-            if self.config.prune_targets:
-                wanted = self._missing_atts_for(rel)
-            else:
-                wanted = self._target_atts - rel.attribute_set
-            if not wanted:
+            floor = (
+                last_op.old
+                if follows_rename and last_op.relation == rel.name
+                else None
+            )
+            if not cached:
+                # uncached (ablation) arms build exactly the floored list —
+                # grouping would construct moves the floor then discards
+                moves.extend(self._attribute_rename_moves(rel, floor))
                 continue
-            for old in rel.attributes:
-                if self.config.prune_targets and old in self._target_atts:
-                    continue  # never rename away a name the target uses
-                if (
-                    self.config.break_symmetry
-                    and isinstance(last_op, RenameAttribute)
-                    and last_op.relation == rel.name
-                    and old <= last_op.old
-                ):
-                    continue  # canonical order within a run of renames
-                for new in sorted(wanted):
-                    yield RenameAttribute(rel.name, old, new)
+            # schema key: rename groups never look at column contents
+            groups = view(("rename_att", rel.name, rel.attributes), rel, build)
+            if not groups:
+                continue
+            if floor is None:
+                for _old, group in groups:
+                    moves.extend(group)
+            else:
+                for old, group in groups:
+                    if old > floor:  # canonical order within a run of renames
+                        moves.extend(group)
+        return moves
+
+    def _attribute_rename_moves(
+        self, rel: Relation, floor: str | None
+    ) -> list[Operator]:
+        prune = self.config.prune_targets
+        if prune:
+            wanted = self._missing_atts_for(rel)
+        else:
+            wanted = self._target_atts - rel.attribute_set
+        if not wanted:
+            return []
+        ordered = sorted(wanted)
+        target_atts = self._target_atts
+        moves: list[Operator] = []
+        for old in rel.attributes:
+            if prune and old in target_atts:
+                continue  # never rename away a name the target uses
+            if floor is not None and old <= floor:
+                continue  # canonical order within a run of renames
+            for new in ordered:
+                moves.append(RenameAttribute(rel.name, old, new))
+        return moves
+
+    def _attribute_rename_groups(
+        self, rel: Relation
+    ) -> tuple[tuple[str, tuple[Operator, ...]], ...]:
+        prune = self.config.prune_targets
+        if prune:
+            wanted = self._missing_atts_for(rel)
+        else:
+            wanted = self._target_atts - rel.attribute_set
+        if not wanted:
+            return ()
+        ordered = _sorted_names(wanted)
+        target_atts = self._target_atts
+        name = rel.name
+        make = _rename_attribute_op  # flyweight: groups only built when cached
+        groups: list[tuple[str, tuple[Operator, ...]]] = []
+        for old in rel.attributes:
+            if prune and old in target_atts:
+                continue  # never rename away a name the target uses
+            groups.append((old, tuple([make(name, old, new) for new in ordered])))
+        return tuple(groups)
 
     def _propose_relation_renames(
         self,
         state: Database,
         missing_rels: frozenset[str],
         last_op: Operator | None,
-    ) -> Iterable[Operator]:
+    ) -> list[Operator]:
+        ordered = _sorted_names(missing_rels)
+        prune = self.config.prune_targets
+        follows_rename = self.config.break_symmetry and isinstance(
+            last_op, RenameRelation
+        )
+        moves: list[Operator] = []
         for rel in state:
-            if self.config.prune_targets and rel.name in self._target_rels:
+            if prune and rel.name in self._target_rels:
                 continue
-            if (
-                self.config.break_symmetry
-                and isinstance(last_op, RenameRelation)
-                and rel.name <= last_op.old
-            ):
+            if follows_rename and rel.name <= last_op.old:
                 continue
-            for new in sorted(missing_rels):
-                yield RenameRelation(rel.name, new)
+            for new in ordered:
+                moves.append(RenameRelation(rel.name, new))
+        return moves
 
     def _propose_lambdas(
         self, state: Database, last_op: Operator | None
@@ -451,87 +718,176 @@ class MappingProblem:
                 # being explored.
                 yield ApplyFunction.from_correspondence(rel.name, corr)
 
-    def _propose_promotes(self, state: Database) -> Iterable[Operator]:
-        for rel in state:
-            wanted = self._missing_atts_for(rel)
-            if self.config.prune_targets and not wanted:
-                continue
-            for name_attr in rel.attributes:
-                if self.config.prune_targets:
-                    if not rel.column_texts(name_attr) & wanted:
-                        continue
-                for value_attr in rel.attributes:
-                    if self.config.prune_targets:
-                        value_texts = rel.column_texts(value_attr)
-                        if not value_texts & self._target_value_texts:
-                            continue
-                    yield Promote(rel.name, name_attr, value_attr)
-
-    def _propose_partitions(
-        self, state: Database, missing_rels: frozenset[str]
-    ) -> Iterable[Operator]:
-        for rel in state:
-            for attr in rel.attributes:
-                if self.config.prune_targets:
-                    if not rel.column_texts(attr) & missing_rels:
-                        continue
-                yield Partition(rel.name, attr)
-
-    def _propose_merges(self, state: Database) -> Iterable[Operator]:
-        for rel in state:
-            if self.config.prune_targets and not rel.has_nulls:
-                continue
-            for attr in rel.attributes:
-                if self.config.prune_targets and attr not in self._target_atts:
+    def _promote_moves(self, rel: Relation) -> tuple[Operator, ...]:
+        # The per-column "can this supply a missing token" tests are the
+        # hottest comparisons in proposal; on the columnar kernel they run
+        # over interned text ids (integer set intersections) instead of
+        # rendered text sets.  Equal strings share one token, so the two
+        # arms accept exactly the same columns.
+        prune = self.config.prune_targets
+        wanted = self._missing_atts_for(rel)
+        if prune and not wanted:
+            return ()
+        moves: list[Operator] = []
+        if prune and caching.columnar_kernel_enabled():
+            wanted_ids = _interned_name_set(wanted)
+            target_value_ids = self._target_value_text_ids
+            make = _promote_op
+            name = rel.name
+            attrs = rel.attributes
+            cols = rel.column_text_id_sets()
+            # the value-side test is independent of the name attribute, so
+            # hoist it out of the nested loop (same pairs, same order)
+            value_attrs = [
+                attr
+                for attr, col in zip(attrs, cols)
+                if not target_value_ids.isdisjoint(col)
+            ]
+            for name_attr, col in zip(attrs, cols):
+                if wanted_ids.isdisjoint(col):
                     continue
-                yield Merge(rel.name, attr)
+                for value_attr in value_attrs:
+                    moves.append(make(name, name_attr, value_attr))
+            return tuple(moves)
+        for name_attr in rel.attributes:
+            if prune:
+                if not rel.column_texts(name_attr) & wanted:
+                    continue
+            for value_attr in rel.attributes:
+                if prune:
+                    value_texts = rel.column_texts(value_attr)
+                    if not value_texts & self._target_value_texts:
+                        continue
+                moves.append(Promote(rel.name, name_attr, value_attr))
+        return tuple(moves)
+
+    def _partition_candidates(
+        self, rel: Relation
+    ) -> tuple[tuple[str, frozenset], ...]:
+        """``(attr, candidate tokens)`` pairs: column values that name some
+        target relation.  A Partition fires for a state exactly when one of
+        the candidates is still missing from that state — the original
+        ``column & missing`` test factors as ``(column & target) & missing``
+        because missing relations are always a subset of target relations.
+        """
+        if caching.columnar_kernel_enabled():
+            target: frozenset = self._target_rel_ids
+            pairs = [
+                (attr, cand)
+                for attr, col in zip(rel.attributes, rel.column_text_id_sets())
+                if (cand := col & target)
+            ]
+        else:
+            pairs = [
+                (attr, frozenset(cand))
+                for attr in rel.attributes
+                if (cand := rel.column_texts(attr) & self._target_rels)
+            ]
+        return tuple(pairs)
+
+    def _merge_moves(self, rel: Relation) -> tuple[Operator, ...]:
+        prune = self.config.prune_targets
+        if prune and not rel.has_nulls:
+            return ()
+        target_atts = self._target_atts
+        return tuple(
+            Merge(rel.name, attr)
+            for attr in rel.attributes
+            if not prune or attr in target_atts
+        )
 
     def _propose_drops(
         self, state: Database, last_op: Operator | None
-    ) -> Iterable[Operator]:
+    ) -> list[Operator]:
+        follows_drop = self.config.break_symmetry and isinstance(
+            last_op, DropAttribute
+        )
+        cached = self._moves_cached
+        view = self._relation_view
+        build = self._drop_entries
+        moves: list[Operator] = []
         for rel in state:
-            if rel.arity <= 1:
-                continue
-            droppable = rel.has_nulls or any(
-                rel.has_attribute(reserved) for reserved in _RESERVED_ATTRS
+            floor = (
+                last_op.attribute
+                if follows_drop and last_op.relation == rel.name
+                else None
             )
-            if self.config.prune_targets and not droppable:
+            if not cached:
+                moves.extend(
+                    op
+                    for attr, op in self._drop_entries(rel)
+                    if floor is None or attr > floor
+                )
                 continue
-            for attr in rel.attributes:
-                if attr in self._target_atts:
-                    continue  # never drop a name the target needs
-                if (
-                    self.config.break_symmetry
-                    and isinstance(last_op, DropAttribute)
-                    and last_op.relation == rel.name
-                    and attr <= last_op.attribute
-                ):
-                    continue
-                yield DropAttribute(rel.name, attr)
-
-    def _propose_dereferences(self, state: Database) -> Iterable[Operator]:
-        for rel in state:
-            wanted = self._missing_atts_for(rel) if self.config.prune_targets else (
-                self._target_atts - rel.attribute_set
-            )
-            if not wanted:
+            # schema key: droppability depends on names plus the nulls bit
+            entries = view(("drop", rel.name, rel.attributes, rel.has_nulls), rel, build)
+            if not entries:
                 continue
-            for pointer in rel.attributes:
-                if self.config.prune_targets:
-                    if not rel.column_texts(pointer) & rel.attribute_set:
-                        continue  # pointer values never name an attribute
-                for new in sorted(wanted):
-                    yield Dereference(rel.name, pointer, new)
+            if floor is None:
+                moves.extend(op for _attr, op in entries)
+            else:
+                moves.extend(op for attr, op in entries if attr > floor)
+        return moves
 
-    def _propose_demotes(self, state: Database) -> Iterable[Operator]:
-        if self.config.prune_targets:
-            missing_values = self._target_value_texts - state.value_texts()
-        for rel in state:
-            if self.config.prune_targets:
-                names = set(rel.attributes) | {rel.name}
-                if not names & missing_values:
-                    continue
-            yield Demote(rel.name)
+    def _drop_entries(
+        self, rel: Relation
+    ) -> tuple[tuple[str, Operator], ...]:
+        if rel.arity <= 1:
+            return ()
+        droppable = rel.has_nulls or any(
+            rel.has_attribute(reserved) for reserved in _RESERVED_ATTRS
+        )
+        if self.config.prune_targets and not droppable:
+            return ()
+        target_atts = self._target_atts
+        name = rel.name
+        return tuple(
+            (attr, DropAttribute(name, attr))
+            for attr in rel.attributes
+            if attr not in target_atts  # never drop a name the target needs
+        )
+
+    def _deref_moves(self, rel: Relation) -> tuple[Operator, ...]:
+        prune = self.config.prune_targets
+        wanted = self._missing_atts_for(rel) if prune else (
+            self._target_atts - rel.attribute_set
+        )
+        if not wanted:
+            return ()
+        columnar = caching.columnar_kernel_enabled()
+        moves: list[Operator] = []
+        if columnar:
+            ordered = _sorted_names(wanted)
+            attr_ids = rel.attribute_ids()
+            make = _dereference_op
+            name = rel.name
+            for pointer, col in zip(rel.attributes, rel.column_text_id_sets()):
+                if prune and attr_ids.isdisjoint(col):
+                    continue  # pointer values never name an attribute
+                for new in ordered:
+                    moves.append(make(name, pointer, new))
+            return tuple(moves)
+        ordered = sorted(wanted)
+        attr_names = rel.attribute_set
+        for pointer in rel.attributes:
+            if prune and not rel.column_texts(pointer) & attr_names:
+                continue  # pointer values never name an attribute
+            for new in ordered:
+                moves.append(Dereference(rel.name, pointer, new))
+        return tuple(moves)
+
+    def _demote_candidates(self, rel: Relation) -> frozenset:
+        # Schema names that appear among the target's values are
+        # relation-local; whether one is still *missing* is the only
+        # state-dependent part of the demote test (missing values are a
+        # subset of target values, so intersecting these candidates with
+        # the missing set matches the original schema-names & missing
+        # test).
+        if caching.columnar_kernel_enabled():
+            return rel.schema_name_ids() & self._target_value_text_ids
+        return frozenset(
+            (set(rel.attributes) | {rel.name}) & self._target_value_texts
+        )
 
     def _propose_products(self, state: Database) -> Iterable[Operator]:
         relations = list(state)

@@ -1,0 +1,279 @@
+"""Property-style equivalence tests for the delta-incremental layer.
+
+The columnar kernel's contract is invisibility: interned relations behave
+exactly like the legacy ones, delta-patched summaries equal full rebuilds
+after arbitrary operator chains, every heuristic scores delta-derived
+states exactly as it scores provenance-free equals, and the fast JSON
+path renders byte-for-byte what the stdlib renderer would.  These tests
+drive each claim with randomised inputs (hypothesis) or exhaustive sweeps
+over the registries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.serialize as serialize
+from repro.fira.delta import StateDelta
+from repro.heuristics import HEURISTIC_NAMES, make_heuristic
+from repro.relational import NULL, Database, Relation, database_string
+from repro.relational.caching import (
+    columnar_kernel_disabled,
+    incremental_heuristics_disabled,
+    incremental_heuristics_enabled,
+    set_incremental_heuristics,
+    view_caching_disabled,
+)
+from repro.relational.summary import (
+    DatabaseSummary,
+    attach_provenance,
+    database_summary,
+)
+from repro.search import MappingProblem, SearchConfig
+from repro.search.engine import discover_mapping
+from repro.workloads import matching_pair
+
+# -- strategies -------------------------------------------------------------
+
+identifiers = st.text(
+    alphabet="ABCDEFGHabcdefgh_", min_size=1, max_size=5
+)
+
+cells = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(alphabet="xyzXYZ012", min_size=0, max_size=4),
+    st.just(NULL),
+)
+
+
+@st.composite
+def relations(draw, name=None):
+    rel_name = name if name is not None else draw(identifiers)
+    arity = draw(st.integers(min_value=1, max_value=3))
+    attrs = draw(
+        st.lists(identifiers, min_size=arity, max_size=arity, unique=True)
+    )
+    rows = draw(
+        st.lists(st.tuples(*([cells] * arity)), min_size=0, max_size=4)
+    )
+    return Relation(rel_name, attrs, rows)
+
+
+@st.composite
+def databases(draw):
+    names = draw(
+        st.lists(identifiers, min_size=1, max_size=3, unique=True)
+    )
+    return Database([draw(relations(name=n)) for n in names])
+
+
+@st.composite
+def derivation_chains(draw):
+    """A root database plus a chain of structural steps applied to it.
+
+    Steps exercise every delta shape the operators produce: replace a
+    relation (rename/promote/drop all reduce to this), add one, and
+    remove one.
+    """
+    root = draw(databases())
+    chain = [root]
+    state = root
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        kind = draw(st.sampled_from(["replace", "add", "remove"]))
+        if kind == "remove" and len(state) > 1:
+            victim = draw(st.sampled_from(sorted(state.relation_names)))
+            child = state.without_relation(victim)
+        elif kind == "add":
+            fresh = draw(relations())
+            if state.has_relation(fresh.name):
+                child = state.with_relation(fresh)
+            else:
+                child = state.with_relation(fresh, replace=False)
+        else:
+            name = draw(st.sampled_from(sorted(state.relation_names)))
+            child = state.with_relation(draw(relations(name=name)))
+        chain.append(child)
+        state = child
+    return chain
+
+
+def _attach_chain_provenance(chain):
+    for parent, child in zip(chain, chain[1:]):
+        attach_provenance(child, parent, StateDelta.between(parent, child))
+
+
+def _summary_fields(summary):
+    return (
+        summary.triples,
+        summary.rel_cells,
+        summary.att_cells,
+        summary.val_cells,
+        summary.sum_sq,
+        summary.total_cells,
+    )
+
+
+# -- incremental summaries == full rebuilds ---------------------------------
+
+
+class TestSummaryEquivalence:
+    @given(chain=derivation_chains())
+    @settings(max_examples=60, deadline=None)
+    def test_delta_folded_summary_matches_full_build(self, chain):
+        _attach_chain_provenance(chain)
+        for state in chain:
+            incremental = database_summary(state)
+            full = DatabaseSummary.from_database(
+                Database(state.relations)  # fresh value: no provenance
+            )
+            assert _summary_fields(incremental) == _summary_fields(full)
+
+    @given(chain=derivation_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_summary_string_matches_tnf_database_string(self, chain):
+        _attach_chain_provenance(chain)
+        final = chain[-1]
+        assert database_summary(final).to_database_string() == database_string(
+            final
+        )
+
+    @given(chain=derivation_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_view_caching_ablated_falls_back_to_full_build(self, chain):
+        with view_caching_disabled():
+            _attach_chain_provenance(chain)  # must be a no-op
+            final = chain[-1]
+            incremental = database_summary(final)
+            full = DatabaseSummary.from_database(final)
+            assert _summary_fields(incremental) == _summary_fields(full)
+
+
+# -- heuristics: delta-derived states score like fresh ones ------------------
+
+
+class TestHeuristicEquivalence:
+    @given(chain=derivation_chains(), target=databases())
+    @settings(max_examples=20, deadline=None)
+    def test_all_heuristics_score_provenance_states_identically(
+        self, chain, target
+    ):
+        _attach_chain_provenance(chain)
+        for name in HEURISTIC_NAMES:
+            heuristic = make_heuristic(name, target)
+            for state in chain:
+                fresh = Database(state.relations)
+                assert heuristic.estimate(state) == heuristic.estimate(fresh)
+
+    @pytest.mark.parametrize("heuristic", HEURISTIC_NAMES)
+    def test_search_results_identical_with_incremental_disabled(
+        self, heuristic
+    ):
+        pair = matching_pair(3)
+        config = SearchConfig(max_states=200_000)
+
+        def run():
+            return discover_mapping(
+                pair.source,
+                pair.target,
+                algorithm="ida",
+                heuristic=heuristic,
+                config=config,
+            )
+
+        previous = incremental_heuristics_enabled()
+        set_incremental_heuristics(True)
+        try:
+            incremental = run()
+        finally:
+            set_incremental_heuristics(previous)
+        with incremental_heuristics_disabled():
+            recomputed = run()
+        assert incremental.stats.states_examined == (
+            recomputed.stats.states_examined
+        )
+        assert str(incremental.expression) == str(recomputed.expression)
+
+
+# -- interned relations behave like legacy ones ------------------------------
+
+
+class TestInternedRelationEquivalence:
+    @given(rel=relations())
+    @settings(max_examples=80, deadline=None)
+    def test_columnar_and_legacy_relations_are_interchangeable(self, rel):
+        with columnar_kernel_disabled():
+            legacy = Relation(rel.name, rel.attributes, rel.rows)
+        assert rel == legacy
+        assert hash(rel) == hash(legacy)
+        assert rel.rows == legacy.rows
+        assert rel.value_set(include_null=True) == legacy.value_set(
+            include_null=True
+        )
+        assert rel.has_nulls == legacy.has_nulls
+
+    @given(db=databases())
+    @settings(max_examples=60, deadline=None)
+    def test_columnar_and_legacy_databases_are_interchangeable(self, db):
+        with columnar_kernel_disabled():
+            legacy = Database(
+                Relation(r.name, r.attributes, r.rows) for r in db
+            )
+        assert db == legacy
+        assert hash(db) == hash(legacy)
+        assert database_string(db) == database_string(legacy)
+
+
+# -- fast JSON renders byte-identically to the stdlib ------------------------
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.text(max_size=8),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSerializationByteIdentity:
+    @given(payload=json_values)
+    @settings(max_examples=100, deadline=None)
+    def test_compact_and_indent_match_stdlib_bytes(self, payload):
+        compact = serialize.json_dumps_compact(payload)
+        indented = serialize.json_dumps_indent2(payload)
+        assert compact == json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+        )
+        assert indented == json.dumps(
+            payload, sort_keys=True, indent=2, ensure_ascii=False
+        )
+        assert serialize.json_loads(compact) == payload
+        assert serialize.json_loads(indented) == payload
+
+    @given(payload=json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_backend_fallback_is_byte_identical(self, payload):
+        fast = serialize.json_dumps_compact(payload)
+        original = serialize._orjson
+        serialize._orjson = None
+        try:
+            slow = serialize.json_dumps_compact(payload)
+        finally:
+            serialize._orjson = original
+        assert fast == slow
+
+    def test_divergent_floats_route_to_stdlib(self):
+        payload = {"tiny": 1e-7, "huge": 1e17, "plain": 0.5}
+        rendered = serialize.json_dumps_compact(payload)
+        assert rendered == json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+        )
+        assert serialize.json_loads(rendered) == payload
