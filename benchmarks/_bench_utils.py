@@ -6,11 +6,16 @@ Environment knobs:
   the full corpus, as the paper swept it).
 * ``REPRO_BENCH_BUDGET`` — state budget for cut-off-prone runs
   (default 200000; the paper's plots cut at 10^6).
+* ``REPRO_BENCH_HISTORY`` — when set, every :func:`write_bench_json` call
+  also appends the payload's tracked headline metrics to this history
+  file (see ``tools/bench_history.py``), so perf numbers accumulate a
+  regression-checkable record as a side effect of running the benches.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 from repro.serialize import json_dumps_indent2
@@ -39,13 +44,44 @@ def bench_budget() -> int:
     return int(os.environ.get("REPRO_BENCH_BUDGET", "200000"))
 
 
+def _bench_history_module():
+    """Load ``tools/bench_history.py`` (a script, not a package) by path."""
+    import importlib.util
+
+    tools = Path(__file__).resolve().parent.parent / "tools" / "bench_history.py"
+    spec = importlib.util.spec_from_file_location("bench_history", tools)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
 def write_bench_json(path: str | Path, payload: dict) -> Path:
     """Persist a bench result payload as stable, diff-friendly JSON.
 
     Benches that publish machine-readable results (``BENCH_*.json`` at the
     repo root) write through here so every file gets the same formatting:
-    sorted keys, two-space indent, trailing newline.
+    sorted keys, two-space indent, trailing newline.  With
+    ``REPRO_BENCH_HISTORY`` set, tracked headline metrics are also appended
+    to that history file — best-effort: a broken history append warns but
+    never fails the bench that produced the result.
     """
     path = Path(path)
     path.write_text(json_dumps_indent2(payload) + "\n")
+    history = os.environ.get("REPRO_BENCH_HISTORY")
+    if history:
+        try:
+            bench_history = _bench_history_module()
+            name = bench_history.bench_name(path)
+            if name in bench_history.TRACKED_METRICS:
+                metrics = bench_history.extract_metrics(name, payload)
+                if metrics:
+                    bench_history.append_history(
+                        history, name, metrics, source=str(path)
+                    )
+        except Exception as exc:  # noqa: BLE001 - history is best-effort
+            print(
+                f"warning: could not append {path} to bench history "
+                f"{history}: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
     return path

@@ -7,6 +7,8 @@ ablation headline) is timed per arm —
 
 * ``baseline``  — no tracer at all (the shared NULL_TRACER default),
 * ``nullsink``  — an explicit ``Tracer(NullSink())`` attached,
+* ``progress``  — no tracer, but a live progress callback attached (the
+  heartbeat throttle piggybacks on the existing limit-check cadence),
 * ``memory``    — full event stream into a ``MemorySink``,
 * ``jsonl``     — full event stream to a JSONL file,
 
@@ -55,11 +57,11 @@ BUDGET = 400_000
 MAX_NULLSINK_OVERHEAD = 0.03
 
 #: arm name -> tracer factory (None = run without a tracer argument)
-ARMS: tuple[str, ...] = ("baseline", "nullsink", "memory", "jsonl")
+ARMS: tuple[str, ...] = ("baseline", "nullsink", "progress", "memory", "jsonl")
 
 
 def _make_tracer(arm: str, tmp_dir: Path, size: int) -> Tracer | None:
-    if arm == "baseline":
+    if arm in ("baseline", "progress"):
         return None
     if arm == "nullsink":
         return Tracer(NullSink())
@@ -73,6 +75,7 @@ def _make_tracer(arm: str, tmp_dir: Path, size: int) -> Tracer | None:
 def _run(size: int, arm: str, tmp_dir: Path) -> SearchResult:
     pair = matching_pair(size)
     tracer = _make_tracer(arm, tmp_dir, size)
+    progress = (lambda update: None) if arm == "progress" else None
     try:
         return discover_mapping(
             pair.source,
@@ -82,6 +85,7 @@ def _run(size: int, arm: str, tmp_dir: Path) -> SearchResult:
             config=SearchConfig(max_states=BUDGET),
             simplify=False,
             tracer=tracer,
+            progress=progress,
         )
     finally:
         if tracer is not None:

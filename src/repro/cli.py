@@ -9,7 +9,7 @@ Commands::
         [--algorithm rbfs] [--heuristic h1] [--k K] [--budget N]
         [--correspondence "Total<-add(Cost,Fee)"]...
         [--portfolio] [--show-matching] [--show-sql]
-        [--output FILE] [--trace FILE]
+        [--output FILE] [--trace FILE] [--progress]
 
     python -m repro experiments --sizes 1 2 3 4
         [--algorithm ida]... [--heuristic h1] [--budget N]
@@ -24,9 +24,13 @@ Commands::
 
     python -m repro trace --inspect FILE
 
+    python -m repro trace --merge PATH... [--output FILE]
+
+    python -m repro trace --collapse FILE [--output FILE]
+
     python -m repro profile [--synthetic N] [--algorithm ida]
         [--heuristic h0] [--budget N] [--top N] [--sort cumulative]
-        [--kernel legacy|columnar|columnar+delta]
+        [--kernel legacy|columnar|columnar+delta] [--spans]
 
     python -m repro info
 
@@ -141,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record a JSONL event trace of the search to FILE",
     )
+    discover.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream a live progress line (examined/depth/frontier/best-f) "
+        "to stderr while the search runs",
+    )
 
     experiments = sub.add_parser(
         "experiments",
@@ -248,6 +258,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="skip searching: validate an existing trace and print its profile",
     )
+    trace.add_argument(
+        "--merge",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="merge per-worker / per-arm JSONL traces (files or directories "
+        "of *.jsonl) into one causally-ordered timeline; with --output, "
+        "write the merged trace there",
+    )
+    trace.add_argument(
+        "--collapse",
+        default=None,
+        metavar="FILE",
+        help="export an existing trace's span tree as collapsed stacks "
+        "(pipe to flamegraph.pl or import into speedscope)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -291,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the unprofiled warm-up run (includes one-time costs)",
     )
+    profile.add_argument(
+        "--spans",
+        action="store_true",
+        help="profile by discovery-phase spans (self/total time tree) "
+        "instead of cProfile function rows",
+    )
 
     sub.add_parser("info", help="list available algorithms and heuristics")
     return parser
@@ -328,6 +360,12 @@ def cmd_discover(args: argparse.Namespace) -> int:
         _parse_correspondence_arg(text) for text in args.correspondence
     ]
     if args.portfolio:
+        if args.progress:
+            print(
+                "note: --progress applies to single-algorithm runs only "
+                "(portfolio arms run in separate processes)",
+                file=sys.stderr,
+            )
         return _discover_portfolio(args, source, target, correspondences)
     tracer = None
     if args.trace:
@@ -335,6 +373,11 @@ def cmd_discover(args: argparse.Namespace) -> int:
         if isinstance(sink, int):
             return sink
         tracer = Tracer(sink)
+    progress = None
+    if args.progress:
+        from .obs import ConsoleProgress
+
+        progress = ConsoleProgress()
     try:
         result = discover_mapping(
             source,
@@ -347,6 +390,7 @@ def cmd_discover(args: argparse.Namespace) -> int:
                 max_states=args.budget, deadline_seconds=args.deadline
             ),
             tracer=tracer,
+            progress=progress,
         )
     finally:
         if tracer is not None:
@@ -490,10 +534,87 @@ def cmd_tnf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_merge(args: argparse.Namespace) -> int:
+    """Merge per-process traces into one causally-ordered timeline."""
+    from .obs import discover_trace_files, merge_report, merge_traces, write_merged
+
+    paths: list[Path] = []
+    for target in args.merge:
+        paths.extend(discover_trace_files(target))
+    if not paths:
+        print(
+            f"error: --merge found no .jsonl trace files in {args.merge}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        merged = merge_traces(paths)
+    except OSError as err:
+        print(f"error: cannot read trace: {err}", file=sys.stderr)
+        return 2
+    print(merge_report(merged))
+    if args.output:
+        try:
+            write_merged(merged, args.output)
+        except OSError as err:
+            print(
+                f"error: cannot write merged trace to {args.output}: {err}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"\nmerged trace written to {args.output}")
+    return 0
+
+
+def _trace_collapse(args: argparse.Namespace) -> int:
+    """Export a trace's span tree in collapsed-stack format."""
+    from .obs import build_span_tree, collapsed_stacks
+
+    try:
+        events = load_trace(args.collapse)
+    except OSError as err:
+        print(f"error: cannot read trace {args.collapse}: {err}", file=sys.stderr)
+        return 2
+    roots = build_span_tree(events)
+    if not roots:
+        print(
+            f"error: {args.collapse}: no span events to collapse "
+            "(trace predates the span subsystem?)",
+            file=sys.stderr,
+        )
+        return 2
+    lines = collapsed_stacks(roots)
+    if args.output:
+        Path(args.output).write_text("\n".join(lines) + "\n")
+        print(f"{len(lines)} collapsed stack(s) written to {args.output}")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Record a JSONL search trace (or inspect an existing one)."""
+    """Record a JSONL search trace (or inspect/merge/collapse existing ones)."""
+    if args.merge:
+        return _trace_merge(args)
+    if args.collapse:
+        return _trace_collapse(args)
     if args.inspect:
-        events = load_trace(args.inspect)
+        try:
+            events = load_trace(args.inspect)
+        except OSError as err:
+            print(
+                f"error: cannot read trace {args.inspect}: {err}",
+                file=sys.stderr,
+            )
+            return 2
+        if not events:
+            print(
+                f"error: {args.inspect}: trace holds no run events "
+                "(header-only file — did the traced run start?)",
+                file=sys.stderr,
+            )
+            return 2
         print(f"{args.inspect}: {len(events)} event(s), schema v{SCHEMA_VERSION}")
         print()
         print(run_profile(events))
@@ -554,6 +675,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
         caching.set_columnar_kernel(args.kernel != "legacy")
         caching.set_incremental_heuristics(args.kernel == "columnar+delta")
+    if args.spans:
+        from .experiments import span_profile_point
+
+        span_profile = span_profile_point(
+            n=args.synthetic,
+            algorithm=args.algorithm,
+            heuristic=args.heuristic,
+            budget=args.budget,
+            warm=not args.cold,
+        )
+        print(span_profile.table())
+        return 0
     from .experiments import profile_point
 
     profile = profile_point(

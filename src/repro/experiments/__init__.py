@@ -13,7 +13,9 @@ from .kernel_profile import (
     PROFILE_SORTS,
     KernelProfile,
     ProfileRow,
+    SpanProfile,
     profile_point,
+    span_profile_point,
 )
 from .persist import load_series, save_series, series_from_dict, series_to_dict
 from .plots import SERIES_MARKS, ascii_chart
@@ -50,6 +52,8 @@ __all__ = [
     "KernelProfile",
     "ProfileRow",
     "profile_point",
+    "SpanProfile",
+    "span_profile_point",
     "load_series",
     "save_series",
     "series_from_dict",

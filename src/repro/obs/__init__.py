@@ -39,6 +39,17 @@ from .events import (
     validate_event,
     validate_events,
 )
+from .events import PROGRESS, SPAN_END, SPAN_START
+from .merge import (
+    MergedTrace,
+    TraceSource,
+    discover_trace_files,
+    load_trace_lenient,
+    merge_report,
+    merge_traces,
+    merged_metrics,
+    write_merged,
+)
 from .metrics import (
     BRANCHING_BUCKETS,
     DEPTH_BUCKETS,
@@ -48,7 +59,19 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .progress import (
+    CallbackProgress,
+    ConsoleProgress,
+    ProgressSink,
+    ProgressUpdate,
+)
 from .report import replay_counters, run_profile
+from .spans import (
+    SpanNode,
+    build_span_tree,
+    collapsed_stacks,
+    render_span_tree,
+)
 from .sinks import (
     SINK_NAMES,
     JsonlSink,
@@ -57,9 +80,36 @@ from .sinks import (
     NullSink,
     Sink,
 )
-from .tracer import NULL_TRACER, Tracer, load_trace, memory_tracer, record_jsonl
+from .tracer import (
+    NULL_TRACER,
+    SpanHandle,
+    Tracer,
+    load_trace,
+    memory_tracer,
+    record_jsonl,
+)
 
 __all__ = [
+    "PROGRESS",
+    "SPAN_END",
+    "SPAN_START",
+    "MergedTrace",
+    "TraceSource",
+    "discover_trace_files",
+    "load_trace_lenient",
+    "merge_report",
+    "merge_traces",
+    "merged_metrics",
+    "write_merged",
+    "CallbackProgress",
+    "ConsoleProgress",
+    "ProgressSink",
+    "ProgressUpdate",
+    "SpanHandle",
+    "SpanNode",
+    "build_span_tree",
+    "collapsed_stacks",
+    "render_span_tree",
     "BUDGET_EXCEEDED",
     "CACHE_HIT",
     "CACHE_MISS",

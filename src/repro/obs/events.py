@@ -58,6 +58,13 @@ DEADLINE_EXCEEDED = "deadline_exceeded"
 CANCELLED = "cancelled"
 #: the run is over; payload carries the final SearchStats snapshot
 SEARCH_END = "search_end"
+#: a nested, timed span opens (discovery phase / expansion loop)
+SPAN_START = "span_start"
+#: a span closes; payload carries its duration and attached counters
+SPAN_END = "span_end"
+#: periodic live-progress heartbeat (examined / elapsed / frontier / best-f),
+#: emitted at the LIMIT_CHECK_EVERY cadence from the existing limit polls
+PROGRESS = "progress"
 
 #: every event type a trace may contain, in rough lifecycle order.
 #: (Additions here are backwards-compatible — new event types extend the
@@ -78,6 +85,9 @@ EVENT_TYPES: tuple[str, ...] = (
     DEADLINE_EXCEEDED,
     CANCELLED,
     SEARCH_END,
+    SPAN_START,
+    SPAN_END,
+    PROGRESS,
 )
 
 #: envelope fields present on every record
@@ -99,6 +109,9 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     DEADLINE_EXCEEDED: ("deadline", "elapsed", "examined"),
     CANCELLED: ("examined",),
     SEARCH_END: ("status",),
+    SPAN_START: ("span", "name"),
+    SPAN_END: ("span", "name", "dur"),
+    PROGRESS: ("examined", "elapsed"),
 }
 
 #: cache labels used by cache_hit / cache_miss events

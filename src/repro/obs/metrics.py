@@ -213,9 +213,32 @@ class MetricsRegistry:
         chunk-local registry through here, so parallel sweeps publish the
         same counter and histogram totals a serial sweep would.
 
+        Both failure modes are validated *before* any instrument is
+        touched, so a raising merge never leaves this registry partially
+        merged.
+
         Raises:
-            ValueError: on kind mismatches or differing histogram buckets.
+            ValueError: a name is registered under different kinds in the
+                two registries, or a histogram's bucket bounds differ.
         """
+        for name in other.names():
+            theirs = other._instruments[name]
+            mine = self._instruments.get(name)
+            if mine is None:
+                continue
+            if type(mine) is not type(theirs):
+                raise ValueError(
+                    f"cannot merge metric {name!r}: "
+                    f"{type(mine).__name__} here, "
+                    f"{type(theirs).__name__} in the incoming registry"
+                )
+            if isinstance(theirs, Histogram) and mine.buckets != theirs.buckets:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: buckets differ "
+                    f"({mine.buckets} here, {theirs.buckets} in the "
+                    f"incoming registry) — fixed matching boundaries are "
+                    f"what make registries mergeable"
+                )
         for name in other.names():
             theirs = other._instruments[name]
             if isinstance(theirs, Counter):

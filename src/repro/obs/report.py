@@ -37,6 +37,7 @@ from .events import (
     SEARCH_START,
     SOLUTION,
 )
+from .spans import build_span_tree, render_span_tree
 
 #: cap on iteration-table rows rendered by run_profile (RBFS backtracks
 #: can number in the thousands; the tail is summarised instead)
@@ -253,4 +254,10 @@ def run_profile(events: Sequence[Mapping]) -> str:
     if counters["prunes"]:
         lines.append("")
         lines.append(f"pruned candidates: {counters['prunes']}")
+
+    # -- span tree (traces recorded with the span subsystem) ------------------
+    span_roots = build_span_tree(events)
+    if span_roots:
+        lines.append("")
+        lines.append(render_span_tree(span_roots))
     return "\n".join(lines)

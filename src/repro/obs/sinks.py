@@ -11,6 +11,8 @@ branch per instrumentation site — the invariant
 from __future__ import annotations
 
 import logging
+import os
+import time
 from pathlib import Path
 from typing import IO, Mapping
 
@@ -94,12 +96,17 @@ class JsonlSink(Sink):
 
         self.path = Path(path)
         self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        # wall/pid anchor the header so cross-process traces can be merged
+        # onto one timeline (event timestamps are per-process perf_counter
+        # offsets and not comparable across workers on their own)
         self.write(
             {
                 "event": TRACE_HEADER,
                 "seq": 0,
                 "t": 0.0,
                 "schema_version": SCHEMA_VERSION,
+                "wall": time.time(),
+                "pid": os.getpid(),
             }
         )
 

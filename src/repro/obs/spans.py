@@ -1,0 +1,184 @@
+"""Offline span-tree assembly and rendering.
+
+A traced run interleaves ``span_start`` / ``span_end`` records (emitted by
+:meth:`repro.obs.tracer.Tracer.span`) with the flat search events.  This
+module folds them back into a tree of :class:`SpanNode` objects with
+self/total wall-clock per node, renders that tree as ASCII
+(:func:`render_span_tree`), and exports it in the collapsed-stack format
+(:func:`collapsed_stacks`) consumed by ``flamegraph.pl`` and speedscope.
+
+Two kinds of synthetic leaves are added during assembly, both derived from
+data already in the trace (no extra events were emitted during the run):
+
+* **phase leaves** — a span whose ``span_end`` carries the stats phase
+  timers (``time_in_successors`` / ``time_in_heuristic`` /
+  ``time_in_goal_tests``) gets one child per non-zero phase, so the
+  flamegraph attributes expansion-loop time to successor generation,
+  heuristic evaluation, and goal tests;
+* **unclosed spans** — a run that aborted mid-span (deadline, crash, torn
+  trace) still yields a node, closed at the last timestamp seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .events import ENVELOPE_FIELDS, SPAN_END, SPAN_START
+
+#: span_end payload keys synthesised into phase-attribution child leaves
+PHASE_LEAVES: tuple[tuple[str, str], ...] = (
+    ("time_in_successors", "successor generation"),
+    ("time_in_heuristic", "heuristic evaluation"),
+    ("time_in_goal_tests", "goal tests"),
+)
+
+#: payload keys that are span bookkeeping, not user attributes
+_SPAN_KEYS = frozenset(ENVELOPE_FIELDS) | {"name", "span", "parent", "dur", "src"}
+
+
+@dataclass
+class SpanNode:
+    """One reassembled span: a timed tree node with attached counters."""
+
+    span_id: int | None
+    name: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+    children: "list[SpanNode]" = field(default_factory=list)
+    synthetic: bool = False
+
+    @property
+    def total(self) -> float:
+        """Wall-clock seconds from span start to span end."""
+        return max(0.0, self.end - self.start)
+
+    @property
+    def self_time(self) -> float:
+        """Total minus time attributed to children (floored at zero)."""
+        return max(0.0, self.total - sum(c.total for c in self.children))
+
+
+def _attrs_of(record: Mapping) -> dict:
+    return {k: v for k, v in record.items() if k not in _SPAN_KEYS}
+
+
+def build_span_tree(events: Sequence[Mapping]) -> list[SpanNode]:
+    """Reassemble ``span_start``/``span_end`` records into root SpanNodes.
+
+    Tolerates unclosed spans (closed at the last timestamp in the stream)
+    and orphan ``span_end`` records (ignored).  Returns an empty list for
+    traces recorded without spans, so callers can gate span sections on
+    truthiness.
+    """
+    by_id: dict[int, SpanNode] = {}
+    roots: list[SpanNode] = []
+    open_ids: list[int] = []
+    last_t = 0.0
+    for record in events:
+        t = float(record.get("t", last_t))
+        if t > last_t:
+            last_t = t
+        event = record.get("event")
+        if event == SPAN_START:
+            span_id = record.get("span")
+            if not isinstance(span_id, int):
+                continue
+            node = SpanNode(span_id, str(record.get("name", "?")), t, t,
+                            attrs=_attrs_of(record))
+            by_id[span_id] = node
+            parent = record.get("parent")
+            if isinstance(parent, int) and parent in by_id:
+                by_id[parent].children.append(node)
+            else:
+                roots.append(node)
+            open_ids.append(span_id)
+        elif event == SPAN_END:
+            span_id = record.get("span")
+            node = by_id.get(span_id) if isinstance(span_id, int) else None
+            if node is None:
+                continue
+            dur = record.get("dur")
+            node.end = t if not isinstance(dur, (int, float)) else node.start + dur
+            node.attrs.update(_attrs_of(record))
+            if span_id in open_ids:
+                open_ids.remove(span_id)
+    for span_id in open_ids:  # aborted mid-span: close at the last event seen
+        by_id[span_id].end = max(by_id[span_id].start, last_t)
+    for node in by_id.values():
+        _synthesize_phase_leaves(node)
+    return roots
+
+
+def _synthesize_phase_leaves(node: SpanNode) -> None:
+    """Attach phase-attribution leaves from stats timers in span attrs."""
+    cursor = node.start
+    for key, label in PHASE_LEAVES:
+        dur = node.attrs.get(key)
+        if not isinstance(dur, (int, float)) or dur <= 0.0:
+            continue
+        node.children.append(
+            SpanNode(None, label, cursor, cursor + float(dur), synthetic=True)
+        )
+        cursor += float(dur)
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}"
+
+
+def _attr_suffix(node: SpanNode) -> str:
+    shown = [
+        f"{key}={value}"
+        for key, value in node.attrs.items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    ][:4]
+    return f"  [{' '.join(shown)}]" if shown else ""
+
+
+def render_span_tree(roots: Sequence[SpanNode]) -> str:
+    """Render the span tree as indented ASCII with self/total columns."""
+    lines = ["span tree (total / self ms)"]
+
+    def walk(node: SpanNode, depth: int) -> None:
+        name = node.name + (" *" if node.synthetic else "")
+        lines.append(
+            f"  {'  ' * depth}{name:<{max(4, 32 - 2 * depth)}}"
+            f" {_fmt_ms(node.total):>9} {_fmt_ms(node.self_time):>9}"
+            f"{_attr_suffix(node)}"
+        )
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    if any(_has_synthetic(root) for root in roots):
+        lines.append("  (* = attributed from stats timers, not a recorded span)")
+    return "\n".join(lines)
+
+
+def _has_synthetic(node: SpanNode) -> bool:
+    return node.synthetic or any(_has_synthetic(c) for c in node.children)
+
+
+def collapsed_stacks(roots: Sequence[SpanNode]) -> list[str]:
+    """Export the tree as collapsed stacks (``a;b;c <self-microseconds>``).
+
+    One line per node with >=1µs self time, weight = self time in integer
+    microseconds — pipe to ``flamegraph.pl`` or import into speedscope.
+    """
+    out: list[str] = []
+
+    def walk(node: SpanNode, prefix: str) -> None:
+        frame = node.name.replace(";", ",").replace(" ", "_")
+        path = f"{prefix};{frame}" if prefix else frame
+        weight = round(node.self_time * 1e6)
+        if weight >= 1:
+            out.append(f"{path} {weight}")
+        for child in node.children:
+            walk(child, path)
+
+    for root in roots:
+        walk(root, "")
+    return out

@@ -28,8 +28,92 @@ from time import perf_counter
 from ..errors import TraceFormatError, TraceWriteError
 from ..serialize import json_loads
 from ..resilience.runtime import resilience_warning
-from .events import SCHEMA_VERSION, TRACE_HEADER, validate_events
+from .events import SCHEMA_VERSION, SPAN_END, SPAN_START, TRACE_HEADER, validate_events
 from .sinks import JsonlSink, MemorySink, NullSink, Sink
+
+
+class SpanHandle:
+    """One open span: a timed, nested region of a traced run.
+
+    Obtained from :meth:`Tracer.span` and used as a context manager::
+
+        with tracer.span("search", algorithm="ida") as sp:
+            ...
+            sp.annotate(examined=stats.states_examined)
+
+    Entering emits a ``span_start`` event (with the span's id, its parent's
+    id when nested, and any keyword attributes); exiting emits ``span_end``
+    with the measured duration plus everything passed to :meth:`annotate`.
+    Span ids are small integers unique within one tracer, so a trace's
+    spans reassemble into a tree offline (:mod:`repro.obs.spans`).
+    """
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "_attrs", "_t_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        attrs: dict,
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self._attrs = attrs
+        self._t_start = 0.0
+
+    def annotate(self, **counters: object) -> None:
+        """Attach counters to this span; emitted in its ``span_end`` event."""
+        self._attrs.update(counters)
+
+    def __enter__(self) -> "SpanHandle":
+        tracer = self.tracer
+        self._t_start = perf_counter()
+        payload: dict = {"span": self.span_id}
+        if self.parent_id is not None:
+            payload["parent"] = self.parent_id
+        if self._attrs:
+            payload.update(self._attrs)
+            self._attrs = {}
+        tracer._span_stack.append(self.span_id)
+        tracer.emit(SPAN_START, name=self.name, **payload)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self.tracer
+        dur = perf_counter() - self._t_start
+        stack = tracer._span_stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:  # out-of-order close; drop through it
+            del stack[stack.index(self.span_id):]
+        payload: dict = {"span": self.span_id, "dur": dur}
+        if self.parent_id is not None:
+            payload["parent"] = self.parent_id
+        if self._attrs:
+            payload.update(self._attrs)
+        tracer.emit(SPAN_END, name=self.name, **payload)
+
+
+class _NullSpan:
+    """Shared no-op span returned by a disabled tracer — zero allocation."""
+
+    __slots__ = ()
+
+    def annotate(self, **counters: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
 
 
 class Tracer:
@@ -47,7 +131,15 @@ class Tracer:
     :attr:`degraded_reason` says why.
     """
 
-    __slots__ = ("sink", "enabled", "seq", "_t0", "degraded_reason")
+    __slots__ = (
+        "sink",
+        "enabled",
+        "seq",
+        "_t0",
+        "degraded_reason",
+        "_span_seq",
+        "_span_stack",
+    )
 
     def __init__(self, sink: Sink | None = None) -> None:
         self.sink = sink if sink is not None else NullSink()
@@ -56,6 +148,8 @@ class Tracer:
         self._t0 = perf_counter()
         #: set to the failure description if the tracer degraded mid-run
         self.degraded_reason: str | None = None
+        self._span_seq = 0
+        self._span_stack: list[int] = []
 
     def emit(self, event: str, **payload: object) -> None:
         """Record one event (no-op when the sink is disabled)."""
@@ -73,6 +167,20 @@ class Tracer:
             self.sink.write(record)
         except (TraceWriteError, OSError) as exc:
             self._degrade(exc)
+
+    def span(self, name: str, **attrs: object) -> "SpanHandle | _NullSpan":
+        """Open a nested, timed span (shared no-op handle when disabled).
+
+        Returns a context manager; the span nests under whichever span is
+        currently open on this tracer.  Attributes given here ride on the
+        ``span_start`` event; counters attached later via
+        :meth:`SpanHandle.annotate` ride on ``span_end``.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        self._span_seq += 1
+        parent = self._span_stack[-1] if self._span_stack else None
+        return SpanHandle(self, self._span_seq, parent, name, attrs)
 
     def _degrade(self, exc: BaseException) -> None:
         """Swap the broken sink for a NullSink and keep the run alive."""

@@ -52,7 +52,13 @@ from ..obs.sinks import JsonlSink
 from ..obs.tracer import Tracer
 from ..relational.database import Database
 from ..resilience.faults import enter_worker, inject
-from ..resilience.runtime import resilience_warning, retry_call
+from ..resilience.runtime import (
+    absorb_resilience,
+    resilience_counters,
+    resilience_delta,
+    resilience_warning,
+    retry_call,
+)
 from ..search.config import SearchConfig
 from ..search.engine import discover_mapping
 from ..semantics.correspondence import Correspondence
@@ -182,16 +188,24 @@ def _run_chunk(
 
 def _run_chunk_pooled(
     specs: Sequence[PointSpec],
-) -> tuple[list[tuple[int, ExperimentPoint]], MetricsRegistry | None]:
+) -> tuple[
+    list[tuple[int, ExperimentPoint]], MetricsRegistry | None, dict[str, int]
+]:
     """Pool-dispatched chunk entry: arm worker-scope faults, then run.
 
     ``enter_worker()`` marks this process so ``scope="worker"`` fault specs
     fire here but *not* during a serial fallback re-run in the parent —
     otherwise an injected worker crash would take the parent down with it.
+
+    The third element is the chunk's ``resilience.*`` counter delta — the
+    warnings this worker raised (e.g. its tracer degrading to untraced) —
+    which the parent absorbs into its own ledger on collection.
     """
+    baseline = resilience_counters()
     enter_worker()
     inject(SITE_FANOUT_WORKER, key=f"chunk{specs[0].index}" if specs else None)
-    return _run_chunk(specs)
+    points, metrics = _run_chunk(specs)
+    return points, metrics, resilience_delta(baseline)
 
 
 def _mark_worker_traces(chunks: list[list[PointSpec]]) -> list[list[PointSpec]]:
@@ -231,9 +245,7 @@ def run_experiment_points(
     if not specs:
         return []
     chunks = _mark_worker_traces(strided_chunks(list(specs), max(1, workers)))
-    outcomes: (
-        list[tuple[list[tuple[int, ExperimentPoint]], MetricsRegistry | None]] | None
-    ) = None
+    outcomes: list[tuple] | None = None
     if workers >= 1:
         from concurrent.futures.process import BrokenProcessPool
 
@@ -261,12 +273,15 @@ def run_experiment_points(
         if outcomes is None:
             resilience_warning("serial_fallbacks", f"{len(chunks)} chunk(s)")
     if outcomes is None:
-        outcomes = [_run_chunk(chunk) for chunk in chunks]
+        # serial fallback: warnings land directly in this process's
+        # ledger, so the shipped delta is empty by construction
+        outcomes = [(*_run_chunk(chunk), {}) for chunk in chunks]
     indexed: list[tuple[int, ExperimentPoint]] = []
-    for chunk_points, chunk_metrics in outcomes:
+    for chunk_points, chunk_metrics, chunk_resilience in outcomes:
         indexed.extend(chunk_points)
         if metrics is not None and chunk_metrics is not None:
             metrics.merge_from(chunk_metrics)
+        absorb_resilience(chunk_resilience)
     indexed.sort(key=lambda item: item[0])
     return [point for _index, point in indexed]
 

@@ -52,7 +52,12 @@ from ..obs.sinks import JsonlSink
 from ..obs.tracer import Tracer
 from ..relational.database import Database
 from ..resilience.faults import enter_worker, inject
-from ..resilience.runtime import resilience_warning
+from ..resilience.runtime import (
+    absorb_resilience,
+    resilience_counters,
+    resilience_delta,
+    resilience_warning,
+)
 from ..search.cancel import CancelToken
 from ..search.config import SearchConfig
 from ..search.engine import ALGORITHM_NAMES, discover_mapping
@@ -222,13 +227,20 @@ def _race_arm(out_queue, kwargs: dict, cancel_event=None) -> None:
     in a :class:`CancelToken`, it lets the parent unwind this arm
     cooperatively (status ``"cancelled"``, partial stats intact) instead
     of terminating it blind.
+
+    Every payload carries the arm's ``resilience.*`` counter delta (the
+    warnings this child raised, e.g. a tracer going dark mid-race), so the
+    parent can absorb cross-process degradations into its own ledger.
     """
     arm = kwargs.get("arm", "?")
+    baseline = resilience_counters()
     try:
         enter_worker()
         inject(SITE_PORTFOLIO_ARM, key=arm)
         token = CancelToken(cancel_event) if cancel_event is not None else None
-        out_queue.put(_run_arm(**kwargs, cancel=token))
+        payload = _run_arm(**kwargs, cancel=token)
+        payload["resilience"] = resilience_delta(baseline)
+        out_queue.put(payload)
     except BaseException as err:  # noqa: BLE001 - crash must become a report
         out_queue.put(
             {
@@ -239,6 +251,7 @@ def _race_arm(out_queue, kwargs: dict, cancel_event=None) -> None:
                 "stats": {},
                 "trace_path": kwargs.get("trace_path", ""),
                 "error": f"{type(err).__name__}: {err}",
+                "resilience": resilience_delta(baseline),
             }
         )
 
@@ -429,6 +442,12 @@ def discover_mapping_portfolio(
             )
             mode, resolved_method = "serial", None
     winner, payloads, reports = outcome
+
+    # Only the child entry point (_race_arm) sets "resilience", so serial
+    # arms — whose warnings already landed in this process's ledger — are
+    # never double-counted here.
+    for payload in payloads.values():
+        absorb_resilience(payload.get("resilience") or {})
 
     result: SearchResult | None = None
     if winner is not None:

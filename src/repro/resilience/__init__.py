@@ -41,9 +41,11 @@ from .faults import (
 )
 from .runtime import (
     RESILIENCE,
+    absorb_resilience,
     backoff_delay,
     reset_resilience,
     resilience_counters,
+    resilience_delta,
     resilience_events,
     resilience_warning,
     retry_call,
@@ -67,6 +69,7 @@ __all__ = [
     "InjectedIOError",
     "InjectedPicklingError",
     "RESILIENCE",
+    "absorb_resilience",
     "activate",
     "backoff_delay",
     "deactivate",
@@ -76,6 +79,7 @@ __all__ = [
     "inject",
     "reset_resilience",
     "resilience_counters",
+    "resilience_delta",
     "resilience_events",
     "resilience_warning",
     "retry_call",

@@ -17,7 +17,7 @@ from the site name and attempt number, never the wall clock or
 from __future__ import annotations
 
 import time
-from typing import Callable, TypeVar
+from typing import Callable, Mapping, TypeVar
 from zlib import crc32
 
 from ..obs.metrics import MetricsRegistry
@@ -47,6 +47,35 @@ def resilience_warning(name: str, detail: str = "") -> None:
 def resilience_counters(prefix: str = "resilience.") -> dict[str, int]:
     """Snapshot of the global warning counters (sorted by name)."""
     return RESILIENCE.counters(prefix)
+
+
+def resilience_delta(baseline: Mapping[str, int]) -> dict[str, int]:
+    """Warnings raised since *baseline* (a :func:`resilience_counters` snapshot).
+
+    Worker processes snapshot on entry and ship the delta home inside
+    their picklable result payload; under ``fork`` the child inherits the
+    parent's counters, so only the growth is the child's own.  Zero-growth
+    names are dropped to keep payloads small.
+    """
+    delta: dict[str, int] = {}
+    for name, value in resilience_counters().items():
+        grew = value - int(baseline.get(name, 0))
+        if grew > 0:
+            delta[name] = grew
+    return delta
+
+
+def absorb_resilience(delta: Mapping[str, int]) -> None:
+    """Fold a worker's shipped counter delta into this process's registry.
+
+    The inverse of :func:`resilience_delta`: the parent calls this once
+    per collected worker payload, so degradations that happened across a
+    process boundary (e.g. a child's tracer going dark) still show up in
+    the parent's ``resilience.*`` counters and hence in chaos assertions.
+    """
+    for name, amount in delta.items():
+        if amount > 0:
+            RESILIENCE.counter(name).inc(int(amount))
 
 
 def resilience_events() -> list[tuple[str, str]]:

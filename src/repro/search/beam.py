@@ -38,6 +38,7 @@ def make_beam(width: int = DEFAULT_BEAM_WIDTH):
         max_depth = problem.config.max_depth
         tracer = stats.tracer
         while layer:
+            stats.frontier_size = len(layer)  # progress-heartbeat payload only
             stats.iteration(depth=depth, width=len(layer))
             for state, _last, path in layer:
                 stats.examine(len(path), state)
@@ -56,6 +57,8 @@ def make_beam(width: int = DEFAULT_BEAM_WIDTH):
                     f = len(path) + 1 + heuristic(child)
                     candidates.append((f, str(op), child, op, path))
             candidates.sort(key=lambda c: (c[0], c[1]))
+            if candidates:
+                stats.current_f = float(candidates[0][0])
             if tracer.enabled and len(candidates) > width:
                 tracer.emit(
                     PRUNE,

@@ -50,6 +50,8 @@ def _best_first(
             continue
         closed.add(state)
         g = best_g[state]
+        stats.current_f = _f  # progress-heartbeat payload only
+        stats.frontier_size = len(frontier)
         stats.examine(g, state)
         if problem.is_goal(state, stats):
             return _reconstruct(parent, state)

@@ -23,7 +23,8 @@ from ..heuristics.base import Heuristic
 from ..heuristics.registry import make_heuristic
 from ..obs.events import SEARCH_END, SEARCH_START, SOLUTION
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracer import Tracer
+from ..obs.progress import CallbackProgress, ProgressSink
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..relational import caching
 from ..relational.database import Database
 from ..semantics.correspondence import Correspondence
@@ -73,6 +74,7 @@ def discover_mapping(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     cancel: CancelToken | None = None,
+    progress: "ProgressSink | Callable | None" = None,
 ) -> SearchResult:
     """Discover a mapping expression from *source* to *target*.
 
@@ -100,6 +102,13 @@ def discover_mapping(
             it (from any thread, or across a process boundary when
             event-backed) makes the search unwind cooperatively with a
             ``cancelled`` result carrying the partial stats.
+        progress: optional live-progress hook — a
+            :class:`~repro.obs.progress.ProgressSink` or a plain callable
+            taking a :class:`~repro.obs.progress.ProgressUpdate`.  Called
+            on the search thread every
+            :data:`~repro.search.stats.LIMIT_CHECK_EVERY` examinations
+            (piggybacked on the existing limit polls); its ``finish()``
+            hook fires once when the run ends, whatever the status.
 
     Returns:
         A :class:`SearchResult`; check ``result.found`` / ``result.status``.
@@ -111,64 +120,89 @@ def discover_mapping(
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
         raise UnknownAlgorithmError(algorithm, ALGORITHM_NAMES)
-    problem = MappingProblem(
-        source,
-        target,
-        correspondences=correspondences,
-        registry=registry,
-        config=config,
-        cancel=cancel,
-    )
-    h = make_heuristic(heuristic, target, k=k, algorithm=algorithm)
-    # Thread parent/delta provenance through successor generation only when
-    # the incremental-heuristic layer will consume it — blind (h0) runs and
-    # ablated runs pay nothing for the machinery.
-    problem.track_deltas = caching.incremental_heuristics_enabled() and getattr(
-        h, "wants_summaries", False
-    )
-    stats = SearchStats(budget=problem.config.max_states)
-    stats.deadline_seconds = problem.config.deadline_seconds
-    stats.cancel_token = cancel
-    if tracer is not None:
-        stats.tracer = tracer
-    if metrics is not None:
-        stats.metrics = metrics
-    h.cache_capacity = problem.config.cache_capacity
-    h.bind_stats(stats)
-    run_tracer = stats.tracer
-    if run_tracer.enabled:
-        run_tracer.emit(
-            SEARCH_START,
-            algorithm=algorithm,
-            heuristic=heuristic,
-            budget=problem.config.max_states,
-            source_relations=len(source.relation_names),
-            target_relations=len(target.relation_names),
-            correspondences=len(problem.correspondences),
-        )
-    try:
-        operators = ALGORITHMS[algorithm](problem, h, stats)
-        status = STATUS_FOUND
+    run_tracer = tracer if tracer is not None else NULL_TRACER
+    progress_sink: ProgressSink | None
+    if progress is None or isinstance(progress, ProgressSink):
+        progress_sink = progress
+    else:
+        progress_sink = CallbackProgress(progress)
+    with run_tracer.span("discover", algorithm=algorithm, heuristic=heuristic):
+        with run_tracer.span("setup"):
+            problem = MappingProblem(
+                source,
+                target,
+                correspondences=correspondences,
+                registry=registry,
+                config=config,
+                cancel=cancel,
+            )
+            h = make_heuristic(heuristic, target, k=k, algorithm=algorithm)
+            # Thread parent/delta provenance through successor generation only
+            # when the incremental-heuristic layer will consume it — blind (h0)
+            # runs and ablated runs pay nothing for the machinery.
+            problem.track_deltas = caching.incremental_heuristics_enabled() and getattr(
+                h, "wants_summaries", False
+            )
+            stats = SearchStats(budget=problem.config.max_states)
+            stats.deadline_seconds = problem.config.deadline_seconds
+            stats.cancel_token = cancel
+            stats.tracer = run_tracer
+            if metrics is not None:
+                stats.metrics = metrics
+            if progress_sink is not None:
+                stats.progress = progress_sink
+            h.cache_capacity = problem.config.cache_capacity
+            h.bind_stats(stats)
         if run_tracer.enabled:
             run_tracer.emit(
-                SOLUTION,
-                size=len(operators),
-                ops=[str(op) for op in operators],
+                SEARCH_START,
+                algorithm=algorithm,
+                heuristic=heuristic,
+                budget=problem.config.max_states,
+                source_relations=len(source.relation_names),
+                target_relations=len(target.relation_names),
+                correspondences=len(problem.correspondences),
             )
-        expression: MappingExpression | None = MappingExpression(operators)
-        if simplify:
-            expression = simplify_expression(
-                expression, source, target, problem.registry
-            )
-    except MappingNotFound:
-        status, expression = STATUS_NOT_FOUND, None
-    except SearchBudgetExceeded:
-        status, expression = STATUS_BUDGET_EXCEEDED, None
-    except SearchDeadlineExceeded:
-        status, expression = STATUS_DEADLINE_EXCEEDED, None
-    except SearchCancelled:
-        status, expression = STATUS_CANCELLED, None
-    stats.stop_clock()
+        expression: MappingExpression | None = None
+        search_span = run_tracer.span("search")
+        try:
+            with search_span:
+                try:
+                    operators = ALGORITHMS[algorithm](problem, h, stats)
+                    status = STATUS_FOUND
+                finally:
+                    stats.end_loop_span()
+                    search_span.annotate(
+                        examined=stats.states_examined,
+                        generated=stats.states_generated,
+                        iterations=stats.iterations,
+                        max_depth=stats.max_depth,
+                    )
+            if run_tracer.enabled:
+                run_tracer.emit(
+                    SOLUTION,
+                    size=len(operators),
+                    ops=[str(op) for op in operators],
+                )
+            expression = MappingExpression(operators)
+            if simplify:
+                with run_tracer.span("simplify"):
+                    expression = simplify_expression(
+                        expression, source, target, problem.registry
+                    )
+        except MappingNotFound:
+            status, expression = STATUS_NOT_FOUND, None
+        except SearchBudgetExceeded:
+            status, expression = STATUS_BUDGET_EXCEEDED, None
+        except SearchDeadlineExceeded:
+            status, expression = STATUS_DEADLINE_EXCEEDED, None
+        except SearchCancelled:
+            status, expression = STATUS_CANCELLED, None
+        stats.stop_clock()
+        if progress_sink is not None:
+            progress_sink.finish()
+    # Emitted after the discover span closes, keeping the trace contract
+    # that search_end is the final record of every run.
     if run_tracer.enabled:
         run_tracer.emit(SEARCH_END, status=status, **stats.as_dict())
     return SearchResult(
@@ -201,6 +235,7 @@ class Tupelo:
         simplify: bool = True,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        progress: "ProgressSink | Callable | None" = None,
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ALGORITHMS:
@@ -214,6 +249,7 @@ class Tupelo:
         #: default telemetry hooks applied to every discover() call
         self.tracer = tracer
         self.metrics = metrics
+        self.progress = progress
 
     def discover(
         self,
@@ -223,12 +259,14 @@ class Tupelo:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         cancel: CancelToken | None = None,
+        progress: "ProgressSink | Callable | None" = None,
     ) -> SearchResult:
         """Discover a mapping expression from *source* to *target*.
 
-        *tracer* / *metrics* override the engine-level defaults for this
-        one call (pass them to trace a single discovery out of many);
-        *cancel* makes this one call cooperatively cancellable.
+        *tracer* / *metrics* / *progress* override the engine-level
+        defaults for this one call (pass them to trace a single discovery
+        out of many); *cancel* makes this one call cooperatively
+        cancellable.
         """
         return discover_mapping(
             source,
@@ -243,6 +281,7 @@ class Tupelo:
             tracer=tracer if tracer is not None else self.tracer,
             metrics=metrics if metrics is not None else self.metrics,
             cancel=cancel,
+            progress=progress if progress is not None else self.progress,
         )
 
     def __repr__(self) -> str:

@@ -40,6 +40,7 @@ def ida_star(
 
     def probe(state: Database, last_op: Operator | None, g: int, bound: float):
         """DFS bounded by f <= bound; returns _FOUND or the next bound."""
+        stats.frontier_size = len(on_path)  # progress-heartbeat payload only
         stats.examine(g, state)
         f = g + heuristic(state)
         if f > bound:

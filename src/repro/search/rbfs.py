@@ -50,6 +50,7 @@ def rbfs(
 
         Raises _Found when a goal is reached (path_ops then holds the path).
         """
+        stats.frontier_size = len(on_path)  # progress-heartbeat payload only
         stats.examine(g, state)
         if problem.is_goal(state, stats):
             raise _Found

@@ -40,9 +40,11 @@ from ..obs.events import (
     DEADLINE_EXCEEDED,
     EXPAND,
     ITERATION_START,
+    PROGRESS,
 )
 from ..obs.metrics import BRANCHING_BUCKETS, DEPTH_BUCKETS
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.progress import ProgressSink, ProgressUpdate
+from ..obs.tracer import NULL_TRACER, SpanHandle, Tracer
 from .cancel import CancelToken
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -109,6 +111,16 @@ class SearchStats:
             (successor generation additionally polls once per expansion via
             :meth:`check_limits`, so coarse-grained algorithms like beam
             stay responsive).
+        progress: optional :class:`~repro.obs.progress.ProgressSink`; when
+            set (or when the tracer is enabled), :meth:`check_limits` also
+            emits a heartbeat every :attr:`check_every` examinations —
+            piggybacked on the existing limit polls, so progress streaming
+            adds zero new polling.
+        current_f: best f-value currently under expansion (cheap unguarded
+            write from each algorithm's main loop; heartbeat payload only —
+            never read by the search itself).
+        frontier_size: current frontier / recursion-path size (same
+            contract as :attr:`current_f`).
     """
 
     budget: int = 1_000_000
@@ -138,6 +150,11 @@ class SearchStats:
     deadline_seconds: float | None = None
     cancel_token: CancelToken | None = None
     check_every: int = LIMIT_CHECK_EVERY
+    progress: ProgressSink | None = None
+    current_f: float | None = None
+    frontier_size: int = 0
+    _progress_marker: int = field(default=0, init=False, repr=False)
+    _loop_span: "SpanHandle | None" = field(default=None, init=False, repr=False)
 
     def examine(self, depth: int = 0, state: "Database | None" = None) -> None:
         """Record one state examination; raise if the budget is exhausted."""
@@ -148,6 +165,11 @@ class SearchStats:
             self.examined_states.append(state)
         tracer = self.tracer
         if tracer.enabled:
+            if self._loop_span is None:
+                # Lazily open one span around the whole expansion loop —
+                # all four algorithms get it with no per-algorithm plumbing.
+                self._loop_span = tracer.span("expand_loop")
+                self._loop_span.__enter__()
             tracer.emit(EXPAND, depth=depth, n=self.states_examined)
         if self.metrics is not None:
             self.metrics.histogram("search.depth", DEPTH_BUCKETS).observe(depth)
@@ -194,6 +216,64 @@ class SearchStats:
                 raise SearchDeadlineExceeded(
                     deadline, elapsed, self.states_examined
                 )
+        if self.progress is not None or self.tracer.enabled:
+            self._maybe_progress()
+
+    def _maybe_progress(self) -> None:
+        """Emit a heartbeat if :attr:`check_every` examinations have passed.
+
+        Throttled on the examination counter (not call count), so the
+        cadence is one heartbeat per ``check_every`` examinations no matter
+        how often :meth:`check_limits` is polled.
+        """
+        if self.states_examined - self._progress_marker < self.check_every:
+            return
+        self._progress_marker = self.states_examined
+        elapsed = time.perf_counter() - self.started_at
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                PROGRESS,
+                examined=self.states_examined,
+                generated=self.states_generated,
+                depth=self.max_depth,
+                frontier=self.frontier_size,
+                f=self.current_f,
+                elapsed=elapsed,
+            )
+        if self.progress is not None:
+            self.progress.update(
+                ProgressUpdate(
+                    examined=self.states_examined,
+                    generated=self.states_generated,
+                    depth=self.max_depth,
+                    frontier=self.frontier_size,
+                    best_f=self.current_f,
+                    elapsed=elapsed,
+                )
+            )
+
+    def end_loop_span(self) -> None:
+        """Close the lazily-opened expansion-loop span (no-op if none).
+
+        Annotates it with the run counters and the per-phase timers, which
+        :func:`repro.obs.spans.build_span_tree` turns into phase-attribution
+        child leaves.  Called from the engine when the algorithm returns and
+        as a backstop from :meth:`stop_clock`.
+        """
+        span = self._loop_span
+        if span is None:
+            return
+        self._loop_span = None
+        span.annotate(
+            examined=self.states_examined,
+            generated=self.states_generated,
+            iterations=self.iterations,
+            time_in_successors=self.time_in_successors,
+            time_in_heuristic=self.time_in_heuristic,
+            time_in_goal_tests=self.time_in_goal_tests,
+        )
+        span.__exit__(None, None, None)
 
     def generated(self, count: int = 1) -> None:
         """Record successor generation."""
@@ -211,6 +291,9 @@ class SearchStats:
         ``depth=`` for beam layers).
         """
         self.iterations += 1
+        bound = info.get("bound", info.get("f", info.get("limit")))
+        if isinstance(bound, (int, float)):
+            self.current_f = float(bound)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(ITERATION_START, n=self.iterations, **info)
@@ -225,6 +308,7 @@ class SearchStats:
         """
         if self.clock_stopped:
             return
+        self.end_loop_span()
         self.elapsed_seconds = time.perf_counter() - self.started_at
         self.clock_stopped = True
         if self.metrics is not None:

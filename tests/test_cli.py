@@ -156,7 +156,9 @@ class TestDiscoverTrace:
         from repro.obs import load_trace, replay_counters
 
         events = load_trace(trace_file)  # schema-validates on load
-        assert events[0]["event"] == "search_start"
+        assert events[0]["event"] == "span_start"  # the discover phase span
+        assert events[0]["name"] == "discover"
+        assert any(event["event"] == "search_start" for event in events)
         assert events[-1]["event"] == "search_end"
         assert replay_counters(events)["states_examined"] > 0
 

@@ -1,0 +1,142 @@
+"""Span subsystem: tracer span API, tree assembly, rendering, export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SearchConfig, discover_mapping
+from repro.obs import (
+    MemorySink,
+    NullSink,
+    Tracer,
+    build_span_tree,
+    collapsed_stacks,
+    render_span_tree,
+)
+from repro.obs.tracer import _NULL_SPAN
+from repro.workloads import matching_pair
+
+
+@pytest.fixture(scope="module")
+def traced_events():
+    """Events from one span-traced discovery (ida/h0, small synthetic)."""
+    pair = matching_pair(4)
+    sink = MemorySink()
+    result = discover_mapping(
+        pair.source,
+        pair.target,
+        algorithm="ida",
+        heuristic="h0",
+        config=SearchConfig(max_states=100_000),
+        tracer=Tracer(sink),
+    )
+    assert result.status == "found"
+    return sink.events
+
+
+class TestTracerSpanApi:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer(NullSink())
+        span = tracer.span("anything", attr=1)
+        assert span is _NULL_SPAN
+        with span as handle:  # context protocol is a no-op
+            handle.annotate(counter=3)
+
+    def test_span_events_carry_nesting_and_duration(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner") as inner:
+                inner.annotate(widgets=2)
+        tracer.close()
+        starts = [e for e in sink.events if e["event"] == "span_start"]
+        ends = [e for e in sink.events if e["event"] == "span_end"]
+        assert [s["name"] for s in starts] == ["outer", "inner"]
+        assert starts[0].get("parent") is None
+        assert starts[1]["parent"] == starts[0]["span"]
+        assert starts[0]["kind"] == "test"
+        # inner closes before outer, each with a non-negative duration
+        assert [e["name"] for e in ends] == ["inner", "outer"]
+        assert all(e["dur"] >= 0.0 for e in ends)
+        inner_end = ends[0]
+        assert inner_end["widgets"] == 2
+
+    def test_out_of_order_close_unwinds_the_stack(self):
+        tracer = Tracer(MemorySink())
+        outer = tracer.span("outer").__enter__()
+        tracer.span("inner").__enter__()
+        # closing the outer span first still leaves a clean stack
+        outer.__exit__(None, None, None)
+        assert tracer._span_stack == []
+
+
+class TestBuildSpanTree:
+    def test_engine_run_has_the_documented_phase_nesting(self, traced_events):
+        roots = build_span_tree(traced_events)
+        assert [r.name for r in roots] == ["discover"]
+        discover = roots[0]
+        child_names = [c.name for c in discover.children]
+        assert child_names[:2] == ["setup", "search"]
+        search = discover.children[1]
+        assert "expand_loop" in [c.name for c in search.children]
+        expand = next(c for c in search.children if c.name == "expand_loop")
+        assert expand.attrs["examined"] > 0
+        # phase leaves synthesized from the loop's stats timers
+        synthetic = [c for c in expand.children if c.synthetic]
+        assert synthetic, "expand_loop should carry phase-attribution leaves"
+        assert all(c.span_id is None for c in synthetic)
+
+    def test_totals_nest_and_self_time_is_non_negative(self, traced_events):
+        roots = build_span_tree(traced_events)
+
+        def walk(node):
+            assert node.total >= 0.0
+            assert node.self_time >= 0.0
+            for child in node.children:
+                if not child.synthetic:
+                    assert child.start >= node.start - 1e-9
+                walk(child)
+
+        for root in roots:
+            walk(root)
+
+    def test_unclosed_span_closes_at_last_timestamp(self):
+        events = [
+            {"event": "span_start", "seq": 1, "t": 0.0, "span": 1, "name": "a"},
+            {"event": "expand", "seq": 2, "t": 0.5, "depth": 1, "n": 1},
+        ]
+        roots = build_span_tree(events)
+        assert len(roots) == 1
+        assert roots[0].end == 0.5
+
+    def test_orphan_span_end_is_ignored(self):
+        events = [
+            {"event": "span_end", "seq": 1, "t": 1.0, "span": 9, "name": "?",
+             "dur": 1.0},
+        ]
+        assert build_span_tree(events) == []
+
+    def test_spanless_trace_yields_empty_forest(self):
+        events = [{"event": "expand", "seq": 1, "t": 0.1, "depth": 1, "n": 1}]
+        assert build_span_tree(events) == []
+
+
+class TestRenderAndExport:
+    def test_render_lists_every_phase(self, traced_events):
+        text = render_span_tree(build_span_tree(traced_events))
+        for name in ("discover", "setup", "search", "expand_loop"):
+            assert name in text
+        assert "attributed from stats timers" in text  # synthetic footnote
+
+    def test_collapsed_stacks_are_flamegraph_shaped(self, traced_events):
+        lines = collapsed_stacks(build_span_tree(traced_events))
+        assert lines
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 1
+            assert path.startswith("discover")
+        assert any(";search;expand_loop" in line for line in lines)
+        # frame names are sanitized for the collapsed format
+        assert any("successor_generation" in line for line in lines) or any(
+            "heuristic_evaluation" in line for line in lines
+        ) or any("goal_tests" in line for line in lines)

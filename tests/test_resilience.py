@@ -51,6 +51,7 @@ from repro.resilience import (
     FAULTS_ENV,
     FaultSpec,
     InjectedIOError,
+    absorb_resilience,
     activate,
     backoff_delay,
     deactivate,
@@ -60,7 +61,9 @@ from repro.resilience import (
     inject,
     reset_resilience,
     resilience_counters,
+    resilience_delta,
     resilience_events,
+    resilience_warning,
     retry_call,
 )
 from repro.search import LIMIT_CHECK_EVERY, STATUS_DEADLINE_EXCEEDED
@@ -355,6 +358,27 @@ def test_retry_call_exhausts_and_raises():
     assert resilience_counters()["resilience.retries"] == 1
 
 
+def test_resilience_delta_and_absorb_round_trip():
+    baseline = resilience_counters()
+    resilience_warning("trace_write_errors", "worker-side failure")
+    resilience_warning("trace_write_errors", "again")
+    delta = resilience_delta(baseline)
+    assert delta == {"resilience.trace_write_errors": 2}
+    # the parent-side half: absorbing the shipped delta replays the counts
+    reset_resilience()
+    absorb_resilience(delta)
+    assert resilience_counters()["resilience.trace_write_errors"] == 2
+    absorb_resilience({})  # empty delta (serial fallback) is a no-op
+    assert resilience_counters()["resilience.trace_write_errors"] == 2
+
+
+def test_resilience_delta_drops_unchanged_names():
+    resilience_warning("retries", "pre-existing")
+    baseline = resilience_counters()
+    resilience_warning("worker_crashes", "new since snapshot")
+    assert resilience_delta(baseline) == {"resilience.worker_crashes": 1}
+
+
 def test_backoff_delay_deterministic_and_bounded():
     first = backoff_delay("some.site", 1, 0.05)
     assert first == backoff_delay("some.site", 1, 0.05)
@@ -412,6 +436,26 @@ def test_slow_worker_still_completes(serial_baseline):
         got = _series(workers=2)
     assert got == serial_baseline
     assert "resilience.serial_fallbacks" not in resilience_counters()
+    assert _no_leaked_children()
+
+
+def test_fanout_worker_sink_fault_ships_trace_write_errors_home(
+    serial_baseline, tmp_path
+):
+    # the header write is hit 1, so at=2 breaks the first event write in
+    # each worker: its tracer degrades to untraced mid-point and the
+    # warning must travel home in the chunk payload's resilience delta
+    spec = FaultSpec(site=SITE_SINK_WRITE, kind="io_error", at=2, scope="worker")
+    with fault_plan(spec, env=True):
+        got = normalize_series(
+            run_matching_series(
+                "ida", "h1", SIZES, budget=BUDGET, workers=2, trace_dir=tmp_path
+            )
+        )
+    counters = resilience_counters()
+    assert got == serial_baseline  # degraded tracing never changes results
+    assert "resilience.serial_fallbacks" not in counters  # pool path ran
+    assert counters["resilience.trace_write_errors"] >= 1
     assert _no_leaked_children()
 
 
@@ -508,6 +552,30 @@ def test_portfolio_spawn_fault_degrades_to_serial():
     assert race.winner is not None
     assert resilience_counters()["resilience.portfolio_degraded"] == 1
     assert _no_leaked_children()
+
+
+def test_portfolio_arm_sink_fault_ships_trace_write_errors_home(tmp_path):
+    # each arm's JsonlSink dies at its 5th write (header + a few events
+    # land first), so every reporting arm finishes untraced and ships a
+    # trace_write_errors delta the parent must absorb
+    spec = FaultSpec(site=SITE_SINK_WRITE, kind="io_error", at=5, scope="worker")
+    with fault_plan(spec, env=True):
+        race = _race(trace_dir=tmp_path)
+    assert race.mode == "process"
+    assert race.winner is not None
+    assert resilience_counters()["resilience.trace_write_errors"] >= 1
+    assert _no_leaked_children()
+
+
+def test_portfolio_serial_sink_fault_counts_once(tmp_path):
+    # serial arms run in this process, so their warnings land directly in
+    # the ledger; the payload-absorb path must not double-count them
+    # (times=1 -> the fault fired exactly once across the whole race)
+    spec = FaultSpec(site=SITE_SINK_WRITE, kind="io_error", at=5)
+    with fault_plan(spec):
+        race = _race(trace_dir=tmp_path, parallel=False)
+    assert race.mode == "serial"
+    assert resilience_counters()["resilience.trace_write_errors"] == 1
 
 
 def test_portfolio_caller_cancel_stops_race():

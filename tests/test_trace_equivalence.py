@@ -15,7 +15,13 @@ import pytest
 from repro.errors import MappingNotFound, SearchBudgetExceeded
 from repro.heuristics import HEURISTIC_NAMES, make_heuristic
 from repro.obs import MemorySink, NullSink, Tracer
-from repro.search import ALGORITHMS, MappingProblem, SearchConfig, SearchStats
+from repro.search import (
+    ALGORITHMS,
+    MappingProblem,
+    SearchConfig,
+    SearchStats,
+    discover_mapping,
+)
 from repro.workloads import matching_pair
 
 #: blind-ish heuristics explode combinatorially — keep their workload tiny
@@ -91,3 +97,67 @@ def test_event_stream_covers_the_run():
     assert [e["n"] for e in expands] == list(
         range(1, stats.states_examined + 1)
     )
+
+
+# -- engine-level equivalence: spans and progress may only observe ----------
+
+
+def engine_run(algorithm, heuristic, size, tracer=None, progress=None):
+    """One full discover_mapping run (spans + heartbeats live here)."""
+    pair = matching_pair(size)
+    return discover_mapping(
+        pair.source,
+        pair.target,
+        algorithm=algorithm,
+        heuristic=heuristic,
+        config=SearchConfig(max_states=BUDGET),
+        simplify=False,
+        tracer=tracer,
+        progress=progress,
+    )
+
+
+def assert_results_identical(base, other):
+    assert other.status == base.status
+    assert str(other.expression) == str(base.expression)
+    assert other.stats.states_examined == base.stats.states_examined
+    assert other.stats.states_generated == base.stats.states_generated
+    assert other.stats.iterations == base.stats.iterations
+    assert other.stats.max_depth == base.stats.max_depth
+    assert other.stats.cache_hits == base.stats.cache_hits
+    assert other.stats.cache_misses == base.stats.cache_misses
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_spans_and_progress_are_bit_identical(algorithm):
+    """Span emission and the heartbeat gate must not perturb the search."""
+    plain = engine_run(algorithm, "h1", 5)
+    sink = MemorySink()
+    updates = []
+    both = engine_run(
+        algorithm, "h1", 5, tracer=Tracer(sink), progress=updates.append
+    )
+    progress_only = engine_run(algorithm, "h1", 5, progress=lambda u: None)
+    assert_results_identical(plain, both)
+    assert_results_identical(plain, progress_only)
+    # spans frame the stream: discover opens it, search_end still closes it
+    events = sink.events
+    assert events[0]["event"] == "span_start"
+    assert events[0]["name"] == "discover"
+    assert events[-1]["event"] == "search_end"
+    started = [e["span"] for e in events if e["event"] == "span_start"]
+    ended = [e["span"] for e in events if e["event"] == "span_end"]
+    assert sorted(started) == sorted(ended)
+
+
+@pytest.mark.parametrize("heuristic", ("h0", "h1"))
+def test_progress_heartbeats_do_not_change_the_answer(heuristic):
+    """Heartbeat-heavy (h0) and heartbeat-free (h1) runs both hold up."""
+    plain = engine_run("ida", heuristic, 4)
+    updates = []
+    observed = engine_run("ida", heuristic, 4, progress=updates.append)
+    assert_results_identical(plain, observed)
+    if updates:
+        examined = [u.examined for u in updates]
+        assert examined == sorted(examined)
+        assert updates[-1].examined <= observed.stats.states_examined
