@@ -23,7 +23,20 @@ Quickstart::
     print(result.stats.states_examined)
 """
 
+from .backends import (
+    ExecutionResult,
+    Executor,
+    SqlBackend,
+    available_backends,
+    backend_names,
+    execute_mapping,
+    get_backend,
+)
 from .errors import (
+    BackendError,
+    BackendExecutionError,
+    BackendUnavailableError,
+    BackendUnsupportedError,
     MappingNotFound,
     SearchBudgetExceeded,
     SearchCancelled,
@@ -32,6 +45,7 @@ from .errors import (
     SemanticError,
     TransformError,
     TupeloError,
+    UnknownBackendError,
 )
 from .fira import (
     ApplyFunction,
@@ -92,6 +106,18 @@ from .semantics import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendError",
+    "BackendExecutionError",
+    "BackendUnavailableError",
+    "BackendUnsupportedError",
+    "ExecutionResult",
+    "Executor",
+    "SqlBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "backend_names",
+    "execute_mapping",
+    "get_backend",
     "MappingNotFound",
     "SearchBudgetExceeded",
     "SearchCancelled",

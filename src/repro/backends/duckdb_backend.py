@@ -1,0 +1,176 @@
+"""DuckDB backend: optional, skipped cleanly when the module is absent.
+
+DuckDB is not a stdlib module and is **not** installed in every
+environment; this backend therefore gates everything behind an import
+probe — :meth:`DuckDbBackend.availability` reports why the engine cannot
+run instead of raising at import time, the auto-dispatching executor
+simply skips it, and the test suite marks its equivalence legs
+``skipif`` .
+
+Faithfulness notes (docs/execution.md has the full matrix):
+
+* **Bag semantics** — like SQLite, handled by the dialect's ``SELECT
+  DISTINCT`` re-creations.
+* **Strict typing** — DuckDB columns hold one type; a source column mixing
+  ints and strings cannot round-trip, so :meth:`why_unsupported` declines
+  mixed-type columns (NULLs aside) rather than letting the engine coerce.
+* **Native booleans** — unlike SQLite, ``True`` round-trips as a BOOLEAN.
+* **UDFs** — registered via ``duckdb``'s ``create_function`` when the
+  installed version exposes it; otherwise λ-bearing mappings are declined.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import TYPE_CHECKING
+
+from ..errors import BackendExecutionError
+from ..fira.semantic import ApplyFunction
+from ..relational.database import Database
+from ..relational.dialect import DuckDbDialect
+from ..relational.relation import Relation
+from ..relational.types import NULL, is_null
+from ..semantics.functions import builtin_registry
+from .base import SqlBackend, StatementLimiter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fira.expression import MappingExpression
+    from ..fira.sqlcompile import SqlScript
+    from ..search.cancel import CancelToken
+    from ..semantics.functions import FunctionRegistry
+
+
+def _column_kinds(rel: Relation, pos: int) -> set[type]:
+    """Python types present in a column, NULLs excluded, bool distinct."""
+    return {type(row[pos]) for row in rel.rows if not is_null(row[pos])}
+
+
+def _mixed_type_column(db: Database) -> str | None:
+    """Name of a relation.attribute whose cells mix engine types, if any."""
+    for rel in db:
+        for pos, attr in enumerate(rel.attributes):
+            kinds = _column_kinds(rel, pos)
+            # int/float coexist fine in a DOUBLE column only by coercing
+            # ints to floats, which breaks bit-identity — treat any mix
+            # (including numeric mixes) as unsupported.
+            if len(kinds) > 1:
+                return f"{rel.name}.{attr}"
+    return None
+
+
+class DuckDbBackend(SqlBackend):
+    """Optional DuckDB backend (in-memory database per execution)."""
+
+    name = "duckdb"
+    dialect = DuckDbDialect()
+
+    def availability(self) -> str | None:
+        if importlib.util.find_spec("duckdb") is None:
+            return "the duckdb module is not installed"
+        return None
+
+    def why_unsupported(
+        self,
+        expression: "MappingExpression",
+        source: Database | None = None,
+    ) -> str | None:
+        reason = self.availability()
+        if reason is not None:
+            return reason
+        if source is not None:
+            mixed = _mixed_type_column(source)
+            if mixed is not None:
+                return (
+                    f"column {mixed} mixes value types and DuckDB columns "
+                    "are strictly typed (coercion would break bit-identity)"
+                )
+        if any(isinstance(op, ApplyFunction) for op in expression):
+            import duckdb
+
+            if not hasattr(duckdb.DuckDBPyConnection, "create_function"):
+                return (
+                    "mapping applies a semantic function but this duckdb "
+                    "version has no create_function UDF API"
+                )
+        return None
+
+    def execute(
+        self,
+        script: "SqlScript",
+        source: Database,
+        registry: "FunctionRegistry | None" = None,
+        deadline: float | None = None,
+        cancel: "CancelToken | None" = None,
+    ) -> Database:
+        self.require_available()
+        import duckdb
+
+        limiter = StatementLimiter(deadline, cancel)
+        conn = duckdb.connect(":memory:")
+        try:
+            self._register_functions(conn, registry, script)
+            self._load(conn, source)
+            for statement in script.statements:
+                limiter.check()
+                try:
+                    conn.execute(statement)
+                except duckdb.Error as exc:  # pragma: no cover - needs duckdb
+                    raise BackendExecutionError(
+                        self.name, statement, exc
+                    ) from exc
+                limiter.completed()
+            limiter.check()
+            return self._read_back(conn)
+        finally:
+            conn.close()
+
+    # -- helpers (exercised only where duckdb is installed) -------------------
+
+    def _load(self, conn, source: Database) -> None:  # pragma: no cover
+        from ..relational.sql import create_table_sql, insert_sql
+
+        for rel in source:
+            conn.execute(create_table_sql(rel, self.dialect))
+            for stmt in insert_sql(rel, self.dialect):
+                conn.execute(stmt)
+
+    def _register_functions(
+        self, conn, registry, script
+    ) -> None:  # pragma: no cover
+        if not hasattr(conn, "create_function"):
+            return
+        reg = registry if registry is not None else builtin_registry()
+        for fn in reg:
+            def wrapper(*args: object, _fn=fn) -> object:
+                out = _fn.apply(
+                    *[NULL if a is None else a for a in args]
+                )
+                return None if is_null(out) else out
+
+            try:
+                conn.create_function(fn.name, wrapper)
+            except Exception:
+                # Signature inference can fail for exotic UDFs; execution
+                # will then raise a clear BackendExecutionError instead.
+                continue
+
+    def _read_back(self, conn) -> Database:  # pragma: no cover
+        tables = [
+            row[0]
+            for row in conn.execute(
+                "SELECT table_name FROM information_schema.tables "
+                "WHERE table_schema = 'main'"
+            ).fetchall()
+        ]
+        relations = []
+        for table in tables:
+            cursor = conn.execute(
+                f"SELECT * FROM {self.dialect.quote_identifier(table)}"
+            )
+            attributes = [desc[0] for desc in cursor.description]
+            rows = [
+                tuple(NULL if cell is None else cell for cell in row)
+                for row in cursor.fetchall()
+            ]
+            relations.append(Relation(table, attributes, rows))
+        return Database(relations)

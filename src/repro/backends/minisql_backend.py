@@ -1,0 +1,47 @@
+"""The zero-dependency reference backend over :mod:`repro.minisql`.
+
+This is the engine the project has always verified its SQL compilation
+against: an in-process interpreter with set-semantics tables and the
+library's canonical text rendering.  It supports every mapping the
+compiler can emit and every instance the relational model can hold, so it
+anchors the cross-backend equivalence oracle — other engines are compared
+against it (and against the in-memory algebra).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..minisql.engine import MiniSqlEngine
+from ..relational.database import Database
+from ..relational.dialect import MiniSqlDialect
+from .base import SqlBackend, StatementLimiter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fira.sqlcompile import SqlScript
+    from ..search.cancel import CancelToken
+    from ..semantics.functions import FunctionRegistry
+
+
+class MiniSqlBackend(SqlBackend):
+    """Reference backend: the in-process mini-SQL interpreter."""
+
+    name = "minisql"
+    dialect = MiniSqlDialect()
+
+    def execute(
+        self,
+        script: "SqlScript",
+        source: Database,
+        registry: "FunctionRegistry | None" = None,
+        deadline: float | None = None,
+        cancel: "CancelToken | None" = None,
+    ) -> Database:
+        limiter = StatementLimiter(deadline, cancel)
+        engine = MiniSqlEngine(source, registry)
+        for statement in script.statements:
+            limiter.check()
+            engine.execute(statement)
+            limiter.completed()
+        limiter.check()
+        return engine.database

@@ -1,0 +1,175 @@
+"""SQLite backend: execute discovered mappings on the stdlib engine.
+
+SQLite ships with Python, so this backend is always available — it is the
+first "real" RDBMS in the equivalence oracle and typically executes large
+instances far faster than the interpreted reference engine.
+
+Faithfulness notes (see docs/execution.md for the full matrix):
+
+* **Bag semantics** — SQLite tables are bags; the sqlite dialect re-creates
+  tables with ``SELECT DISTINCT`` and compiles column drops as DISTINCT
+  re-creations so results match the paper's set-semantics model.
+* **Untyped loading** — source tables are created *without* declared column
+  types.  SQLite's type affinity would otherwise coerce cells (an INTEGER
+  in a ``DOUBLE PRECISION`` column comes back as a REAL) and break
+  bit-identical round-trips of mixed-type columns; columns with no declared
+  type store every value exactly as supplied.
+* **No booleans** — SQLite has no BOOLEAN storage class: ``True`` round
+  trips as ``1``.  Rather than silently rewriting values, the backend
+  *declines* sources containing booleans (:meth:`SqliteBackend
+  .why_unsupported`), and the auto-dispatching executor falls back to the
+  reference engine.
+* **UDFs** — λ applications run through :meth:`sqlite3.Connection
+  .create_function` wrappers around the project's semantic functions, with
+  NULL↔None conversion at the boundary.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import TYPE_CHECKING
+
+from ..errors import BackendExecutionError
+from ..fira.structure import Select
+from ..relational.database import Database
+from ..relational.dialect import SqliteDialect
+from ..relational.relation import Relation
+from ..relational.sql import create_table_sql
+from ..relational.types import NULL, Value, is_null
+from ..semantics.functions import builtin_registry
+from .base import SqlBackend, StatementLimiter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fira.expression import MappingExpression
+    from ..fira.sqlcompile import SqlScript
+    from ..search.cancel import CancelToken
+    from ..semantics.functions import FunctionRegistry
+
+
+def _to_engine(value: Value) -> object:
+    """Library value -> sqlite3 parameter (NULL becomes None)."""
+    return None if is_null(value) else value
+
+
+def _from_engine(cell: object) -> Value:
+    """sqlite3 cell -> library value (None becomes NULL)."""
+    if cell is None:
+        return NULL
+    if isinstance(cell, (int, float, str)):
+        return cell
+    raise BackendExecutionError(
+        "sqlite",
+        "<read-back>",
+        TypeError(f"sqlite returned unsupported cell type {type(cell).__name__}"),
+    )
+
+
+def _database_has_bool(db: Database) -> bool:
+    return any(
+        isinstance(cell, bool)
+        for rel in db
+        for row in rel.rows
+        for cell in row
+    )
+
+
+class SqliteBackend(SqlBackend):
+    """Stdlib :mod:`sqlite3` backend (in-memory database per execution)."""
+
+    name = "sqlite"
+    dialect = SqliteDialect()
+
+    def why_unsupported(
+        self,
+        expression: "MappingExpression",
+        source: Database | None = None,
+    ) -> str | None:
+        if source is not None and _database_has_bool(source):
+            return (
+                "source contains boolean values and SQLite has no BOOLEAN "
+                "storage class (True would round-trip as 1)"
+            )
+        for op in expression:
+            if isinstance(op, Select) and isinstance(op.value, bool):
+                return (
+                    f"select on boolean literal {op.value!r} cannot be "
+                    "rendered for SQLite"
+                )
+        return None
+
+    def _load(self, conn: sqlite3.Connection, source: Database) -> None:
+        """Create untyped tables and bulk-insert via parameters."""
+        d = self.dialect
+        for rel in source:
+            conn.execute(create_table_sql(rel, d, typed=False))
+            placeholders = ", ".join("?" for _ in rel.attributes)
+            cols = ", ".join(d.quote_identifier(a) for a in rel.attributes)
+            conn.executemany(
+                f"INSERT INTO {d.quote_identifier(rel.name)} "
+                f"({cols}) VALUES ({placeholders})",
+                [tuple(_to_engine(v) for v in row) for row in rel.sorted_rows()],
+            )
+
+    def _register_functions(
+        self,
+        conn: sqlite3.Connection,
+        registry: "FunctionRegistry | None",
+    ) -> None:
+        reg = registry if registry is not None else builtin_registry()
+        for fn in reg:
+            def wrapper(*args: object, _fn=fn) -> object:
+                return _to_engine(
+                    _fn.apply(*[_from_engine(a) for a in args])
+                )
+
+            conn.create_function(
+                fn.name, fn.arity, wrapper, deterministic=True
+            )
+
+    def _read_back(self, conn: sqlite3.Connection) -> Database:
+        """Turn the connection's catalogue back into a Database value."""
+        tables = [
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%'"
+            )
+        ]
+        relations = []
+        for table in tables:
+            cursor = conn.execute(
+                f"SELECT * FROM {self.dialect.quote_identifier(table)}"
+            )
+            attributes = [desc[0] for desc in cursor.description]
+            rows = [
+                tuple(_from_engine(cell) for cell in row) for row in cursor
+            ]
+            relations.append(Relation(table, attributes, rows))
+        return Database(relations)
+
+    def execute(
+        self,
+        script: "SqlScript",
+        source: Database,
+        registry: "FunctionRegistry | None" = None,
+        deadline: float | None = None,
+        cancel: "CancelToken | None" = None,
+    ) -> Database:
+        limiter = StatementLimiter(deadline, cancel)
+        conn = sqlite3.connect(":memory:")
+        try:
+            self._register_functions(conn, registry)
+            self._load(conn, source)
+            for statement in script.statements:
+                limiter.check()
+                try:
+                    conn.execute(statement)
+                except sqlite3.Error as exc:
+                    raise BackendExecutionError(
+                        self.name, statement, exc
+                    ) from exc
+                limiter.completed()
+            limiter.check()
+            return self._read_back(conn)
+        finally:
+            conn.close()

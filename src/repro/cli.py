@@ -17,6 +17,10 @@ Commands::
 
     python -m repro apply --expression FILE --source DIR [--output DIR]
 
+    python -m repro execute --expression FILE --source DIR
+        [--backend auto|minisql|sqlite|duckdb] [--deadline SECONDS]
+        [--show-sql] [--output DIR]
+
     python -m repro tnf --source DIR
 
     python -m repro trace (--source DIR --target DIR | --synthetic N)
@@ -137,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-sql", action="store_true", help="also print the SQL compilation"
     )
     discover.add_argument(
+        "--execute",
+        action="store_true",
+        help="also execute the discovered mapping on an SQL backend and "
+        "print the resulting instance",
+    )
+    discover.add_argument(
+        "--backend",
+        default="auto",
+        metavar="NAME",
+        help="execution backend for --execute (auto picks the fastest "
+        "faithful engine available; see `repro info` for the list)",
+    )
+    discover.add_argument(
         "--output", default=None, help="write the expression to this file"
     )
     discover.add_argument(
@@ -217,6 +234,37 @@ def build_parser() -> argparse.ArgumentParser:
     apply_cmd.add_argument("--expression", required=True, help="expression file")
     apply_cmd.add_argument("--source", required=True, help="source CSV directory")
     apply_cmd.add_argument(
+        "--output", default=None, help="write result CSVs here (default: print)"
+    )
+
+    execute = sub.add_parser(
+        "execute",
+        help="execute a mapping expression on an SQL backend "
+        "(compile + run + read back)",
+    )
+    execute.add_argument("--expression", required=True, help="expression file")
+    execute.add_argument("--source", required=True, help="source CSV directory")
+    execute.add_argument(
+        "--backend",
+        default="auto",
+        metavar="NAME",
+        help="backend name or 'auto' (fastest faithful engine available; "
+        "see `repro info` for the list)",
+    )
+    execute.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for script execution; a cut run exits "
+        f"{EXIT_DEADLINE_EXCEEDED}",
+    )
+    execute.add_argument(
+        "--show-sql",
+        action="store_true",
+        help="also print the compiled script (in the backend's dialect)",
+    )
+    execute.add_argument(
         "--output", default=None, help="write result CSVs here (default: print)"
     )
 
@@ -359,6 +407,13 @@ def cmd_discover(args: argparse.Namespace) -> int:
     correspondences = [
         _parse_correspondence_arg(text) for text in args.correspondence
     ]
+    if args.execute or args.backend != "auto":
+        # Validate the backend name up front so a typo fails before the
+        # search spends its budget (UnknownBackendError -> exit 2).
+        from .backends import get_backend
+
+        if args.backend != "auto":
+            get_backend(args.backend)
     if args.portfolio:
         if args.progress:
             print(
@@ -420,6 +475,23 @@ def cmd_discover(args: argparse.Namespace) -> int:
     if args.show_sql:
         print()
         print(compile_expression(result.expression, source, builtin_registry()))
+    if args.execute:
+        from .backends import execute_mapping
+
+        executed = execute_mapping(
+            result.expression,
+            source,
+            backend=args.backend,
+            registry=builtin_registry(),
+        )
+        print()
+        print(
+            f"executed on backend {executed.backend} "
+            f"({executed.script.statement_count} statement(s), "
+            f"{executed.execute_seconds * 1000:.1f} ms)"
+        )
+        print()
+        print(executed.database.to_text())
     if args.output:
         Path(args.output).write_text(str(result.expression) + "\n")
         print(f"\nexpression written to {args.output}")
@@ -524,6 +596,46 @@ def cmd_apply(args: argparse.Namespace) -> int:
         print(f"wrote {len(paths)} relation(s) to {args.output}")
     else:
         print(mapped.to_text())
+    return 0
+
+
+def cmd_execute(args: argparse.Namespace) -> int:
+    """Run a stored mapping expression through an SQL execution backend."""
+    from .backends import execute_mapping
+    from .errors import SearchDeadlineExceeded
+
+    expression = parse_expression(Path(args.expression).read_text())
+    source = load_database_dir(args.source)
+    try:
+        result = execute_mapping(
+            expression,
+            source,
+            backend=args.backend,
+            registry=builtin_registry(),
+            deadline=args.deadline,
+        )
+    except SearchDeadlineExceeded as err:
+        print(
+            f"deadline of {args.deadline:g}s cut execution after "
+            f"{err.states_examined} statement(s)",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE_EXCEEDED
+    print(
+        f"backend: {result.backend}  "
+        f"({result.script.statement_count} statement(s), "
+        f"compile {result.compile_seconds * 1000:.1f} ms, "
+        f"execute {result.execute_seconds * 1000:.1f} ms)"
+    )
+    if args.show_sql:
+        print()
+        print(result.script.text)
+    if args.output:
+        paths = save_database(result.database, args.output)
+        print(f"wrote {len(paths)} relation(s) to {args.output}")
+    else:
+        print()
+        print(result.database.to_text())
     return 0
 
 
@@ -716,6 +828,14 @@ def cmd_info(_args: argparse.Namespace) -> int:
           f"REPRO_INCREMENTAL_HEURISTICS), json backend: {FAST_JSON_BACKEND}")
     print("sinks: " + ", ".join(SINK_NAMES))
     print("events: " + ", ".join(EVENT_TYPES))
+    from .backends import backend_names, get_backend
+
+    backends = []
+    for name in backend_names():
+        backend = get_backend(name)
+        reason = backend.availability()
+        backends.append(name if reason is None else f"{name} (unavailable: {reason})")
+    print("backends: " + ", ".join(backends))
     from .parallel import (
         available_start_methods,
         cpu_count,
@@ -738,6 +858,7 @@ _COMMANDS = {
     "discover": cmd_discover,
     "experiments": cmd_experiments,
     "apply": cmd_apply,
+    "execute": cmd_execute,
     "tnf": cmd_tnf,
     "trace": cmd_trace,
     "profile": cmd_profile,

@@ -59,6 +59,16 @@ class TNFError(RelationalError):
     """A Tuple Normal Form table was malformed or could not be decoded."""
 
 
+class SqlRenderingError(RelationalError):
+    """A value or name has no faithful SQL rendering in the target dialect.
+
+    Raised by :mod:`repro.relational.dialect` for empty identifiers, NUL
+    bytes, non-finite floats, and boolean literals on engines without a
+    BOOLEAN storage class — cases where emitting SQL anyway would either
+    fail to parse or silently change meaning.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Transformation language L
 # ---------------------------------------------------------------------------
@@ -144,6 +154,68 @@ class TraceWriteError(ObservabilityError):
         self.path = str(path)
         self.cause = cause
         super().__init__(f"cannot write trace to {path}: {cause}")
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+class BackendError(TupeloError):
+    """Base class for errors in the SQL execution backends (:mod:`repro.backends`)."""
+
+
+class UnknownBackendError(BackendError):
+    """A backend name was not found in the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown backend {name!r}"
+        if available:
+            message += f" (known: {', '.join(sorted(self.available))})"
+        super().__init__(message)
+
+
+class BackendUnavailableError(BackendError):
+    """A backend's engine is not importable in this environment.
+
+    The DuckDB backend raises this when the ``duckdb`` module is missing;
+    callers going through the ``auto`` front door never see it (unavailable
+    backends are skipped), only explicit ``backend="duckdb"`` requests do.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        self.backend = name
+        self.reason = reason
+        super().__init__(f"backend {name!r} is unavailable: {reason}")
+
+
+class BackendUnsupportedError(BackendError):
+    """A backend cannot faithfully execute this expression/instance pair.
+
+    Example: SQLite has no BOOLEAN storage class, so bool-carrying
+    instances cannot round-trip bit-identically through it.  The ``auto``
+    front door skips unsupporting backends; explicit requests fail with
+    the reason.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        self.backend = name
+        self.reason = reason
+        super().__init__(f"backend {name!r} cannot execute this mapping: {reason}")
+
+
+class BackendExecutionError(BackendError):
+    """The engine rejected or failed a compiled statement mid-script."""
+
+    def __init__(self, name: str, statement: str, cause: str) -> None:
+        self.backend = name
+        self.statement = statement
+        self.cause = cause
+        super().__init__(
+            f"backend {name!r} failed executing {statement!r}: {cause}"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ from .matching import AttributeMatch, RelationMatch, SchemaMatching, extract_mat
 from .parser import parse_expression, parse_operator
 from .renames import RenameAttribute, RenameRelation
 from .semantic import ApplyFunction
-from .sqlcompile import compile_expression, compile_operator
+from .sqlcompile import SqlScript, compile_expression, compile_operator, compile_script
 from .structure import DropAttribute, Select
 
 __all__ = [
@@ -66,8 +66,10 @@ __all__ = [
     "RenameAttribute",
     "RenameRelation",
     "ApplyFunction",
+    "SqlScript",
     "compile_expression",
     "compile_operator",
+    "compile_script",
     "DropAttribute",
     "Select",
 ]

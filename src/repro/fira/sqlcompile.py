@@ -12,15 +12,28 @@ script is annotated so a reader can see which statements are
 instance-directed.  ``merge`` compiles to a GROUP-BY/MAX coalescing query,
 the standard SQL rendering of the Wyss–Robertson merge when each group holds
 at most one non-NULL value per column (which promote guarantees).
+
+Emission is split from rendering: this module decides the *statement
+sequence* while a :class:`~repro.relational.dialect.SqlDialect` decides how
+identifiers, literals, casts, and duplicate handling are spelled for a
+concrete engine.  The default dialect reproduces the historical canonical
+output byte for byte; bag-semantics dialects (sqlite, duckdb) re-create
+tables with ``SELECT DISTINCT`` and compile column drops as DISTINCT
+re-creations so executed results stay bit-identical with the in-memory
+algebra.  :func:`compile_script` returns a :class:`SqlScript` whose
+statement list backends execute one at a time (polling deadline/cancel
+between statements); :func:`compile_expression` keeps the annotated-text
+form.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..errors import OperatorApplicationError
 from ..relational.database import Database
-from ..relational.sql import quote_identifier, quote_literal
+from ..relational.dialect import CANONICAL_DIALECT, SqlDialect
 from ..relational.types import is_null, value_to_text
 from .base import Operator
 from .combine import CartesianProduct, Merge
@@ -34,10 +47,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..semantics.functions import FunctionRegistry
 
 
-def _recreate(relation: str, select_body: str) -> list[str]:
+@dataclass(frozen=True)
+class SqlScript:
+    """A compiled pipeline: executable statements plus the annotated text.
+
+    Attributes:
+        dialect: name of the dialect the script was rendered for.
+        statements: executable statements only (no comments), one entry
+            per statement — the granularity at which backends poll the
+            deadline/cancel contract.
+        text: the full annotated script (step markers + instance-directed
+            commentary), suitable for display and files.
+    """
+
+    dialect: str
+    statements: tuple[str, ...]
+    text: str
+
+    @property
+    def statement_count(self) -> int:
+        """Number of executable statements."""
+        return len(self.statements)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def is_sql_comment(line: str) -> bool:
+    """Whether an emitted line is commentary rather than a statement."""
+    return line.lstrip().startswith("--") or not line.strip()
+
+
+def _recreate(
+    relation: str, select_body: str, dialect: SqlDialect
+) -> list[str]:
     """CREATE-new / DROP-old / RENAME dance replacing *relation* in place."""
-    rel = quote_identifier(relation)
-    tmp = quote_identifier(relation + "__tupelo_tmp")
+    rel = dialect.quote_identifier(relation)
+    tmp = dialect.quote_identifier(relation + "__tupelo_tmp")
     return [
         f"CREATE TABLE {tmp} AS {select_body};",
         f"DROP TABLE {rel};",
@@ -45,54 +91,82 @@ def _recreate(relation: str, select_body: str) -> list[str]:
     ]
 
 
-def compile_operator(op: Operator, db: Database) -> list[str]:
+def compile_operator(
+    op: Operator, db: Database, dialect: SqlDialect | None = None
+) -> list[str]:
     """SQL statements implementing *op* on a database in the state *db*.
 
     *db* is the database **before** the operator runs; dynamic operators
-    inspect it to materialise data-dependent names.
+    inspect it to materialise data-dependent names.  Comment lines
+    (``-- ...``) may be interleaved; filter with :func:`is_sql_comment`
+    when executing.
     """
+    d = dialect or CANONICAL_DIALECT
     if isinstance(op, RenameAttribute):
         return [
-            f"ALTER TABLE {quote_identifier(op.relation)} "
-            f"RENAME COLUMN {quote_identifier(op.old)} TO {quote_identifier(op.new)};"
+            f"ALTER TABLE {d.quote_identifier(op.relation)} "
+            f"RENAME COLUMN {d.quote_identifier(op.old)} TO {d.quote_identifier(op.new)};"
         ]
     if isinstance(op, RenameRelation):
         return [
-            f"ALTER TABLE {quote_identifier(op.old)} "
-            f"RENAME TO {quote_identifier(op.new)};"
+            f"ALTER TABLE {d.quote_identifier(op.old)} "
+            f"RENAME TO {d.quote_identifier(op.new)};"
         ]
     if isinstance(op, DropAttribute):
-        return [
-            f"ALTER TABLE {quote_identifier(op.relation)} "
-            f"DROP COLUMN {quote_identifier(op.attribute)};"
-        ]
+        return _compile_drop(op, db, d)
     if isinstance(op, Select):
         return [
-            f"DELETE FROM {quote_identifier(op.relation)} "
-            f"WHERE {quote_identifier(op.attribute)} IS NULL "
-            f"OR {quote_identifier(op.attribute)} <> {quote_literal(op.value)};"
+            f"DELETE FROM {d.quote_identifier(op.relation)} "
+            f"WHERE {d.quote_identifier(op.attribute)} IS NULL "
+            f"OR {d.quote_identifier(op.attribute)} <> {d.quote_literal(op.value)};"
             if not is_null(op.value)
-            else f"DELETE FROM {quote_identifier(op.relation)} "
-            f"WHERE {quote_identifier(op.attribute)} IS NOT NULL;"
+            else f"DELETE FROM {d.quote_identifier(op.relation)} "
+            f"WHERE {d.quote_identifier(op.attribute)} IS NOT NULL;"
         ]
     if isinstance(op, Promote):
-        return _compile_promote(op, db)
+        return _compile_promote(op, db, d)
     if isinstance(op, Demote):
-        return _compile_demote(op, db)
+        return _compile_demote(op, db, d)
     if isinstance(op, Dereference):
-        return _compile_dereference(op, db)
+        return _compile_dereference(op, db, d)
     if isinstance(op, Partition):
-        return _compile_partition(op, db)
+        return _compile_partition(op, db, d)
     if isinstance(op, Merge):
-        return _compile_merge(op, db)
+        return _compile_merge(op, db, d)
     if isinstance(op, CartesianProduct):
-        return _compile_product(op, db)
+        return _compile_product(op, db, d)
     if isinstance(op, ApplyFunction):
-        return _compile_apply(op)
+        return _compile_apply(op, d)
     raise OperatorApplicationError(f"no SQL compilation for operator {op!r}")
 
 
-def _compile_promote(op: Promote, db: Database) -> list[str]:
+def _compile_drop(op: DropAttribute, db: Database, d: SqlDialect) -> list[str]:
+    if d.drop_column_in_place():
+        return [
+            f"ALTER TABLE {d.quote_identifier(op.relation)} "
+            f"DROP COLUMN {d.quote_identifier(op.attribute)};"
+        ]
+    # Bag-semantics engines: an in-place drop can expose duplicate rows the
+    # algebra would collapse, so re-create with SELECT DISTINCT instead.
+    rel = db.relation(op.relation)
+    remaining = [a for a in rel.attributes if a != op.attribute]
+    if not remaining:
+        raise OperatorApplicationError(
+            f"drop: cannot drop the last attribute of {op.relation!r}"
+        )
+    cols = ", ".join(d.quote_identifier(a) for a in remaining)
+    body = (
+        f"SELECT {d.select_modifier()}{cols} "
+        f"FROM {d.quote_identifier(op.relation)}"
+    )
+    return [
+        "-- drop: re-created with DISTINCT to preserve set semantics on a "
+        "bag-semantics engine",
+        *_recreate(op.relation, body, d),
+    ]
+
+
+def _compile_promote(op: Promote, db: Database, d: SqlDialect) -> list[str]:
     rel = db.relation(op.relation)
     name_pos = rel.attribute_position(op.name_attr)
     new_names: list[str] = []
@@ -106,49 +180,57 @@ def _compile_promote(op: Promote, db: Database) -> list[str]:
             seen.add(name)
             new_names.append(name)
     cases = ", ".join(
-        f"CASE WHEN {quote_identifier(op.name_attr)} = {quote_literal(name)} "
-        f"THEN {quote_identifier(op.value_attr)} END AS {quote_identifier(name)}"
+        f"CASE WHEN {d.quote_identifier(op.name_attr)} = {d.quote_literal(name)} "
+        f"THEN {d.quote_identifier(op.value_attr)} END AS {d.quote_identifier(name)}"
         for name in new_names
     )
-    body = f"SELECT *, {cases} FROM {quote_identifier(op.relation)}"
+    select_list = f"*, {cases}" if cases else "*"
+    body = (
+        f"SELECT {d.select_modifier()}{select_list} "
+        f"FROM {d.quote_identifier(op.relation)}"
+    )
     return [
         f"-- promote: column names below come from the data of "
         f"{op.name_attr!r} (instance-directed)",
-        *_recreate(op.relation, body),
+        *_recreate(op.relation, body, d),
     ]
 
 
-def _compile_demote(op: Demote, db: Database) -> list[str]:
+def _compile_demote(op: Demote, db: Database, d: SqlDialect) -> list[str]:
     rel = db.relation(op.relation)
-    values = ", ".join(
-        f"({quote_literal(rel.name)}, {quote_literal(attr)})" for attr in rel.attributes
-    )
-    meta = (
-        f"(VALUES {values}) AS __meta"
-        f"({quote_identifier(DEMOTE_REL_ATTR)}, {quote_identifier(DEMOTE_ATT_ATTR)})"
+    meta = d.values_table(
+        [(rel.name, attr) for attr in rel.attributes],
+        "__meta",
+        (DEMOTE_REL_ATTR, DEMOTE_ATT_ATTR),
     )
     body = (
-        f"SELECT {quote_identifier(op.relation)}.*, __meta.* "
-        f"FROM {quote_identifier(op.relation)} CROSS JOIN {meta}"
+        f"SELECT {d.select_modifier()}{d.quote_identifier(op.relation)}.*, __meta.* "
+        f"FROM {d.quote_identifier(op.relation)} CROSS JOIN {meta}"
     )
-    return _recreate(op.relation, body)
+    return _recreate(op.relation, body, d)
 
 
-def _compile_dereference(op: Dereference, db: Database) -> list[str]:
+def _compile_dereference(op: Dereference, db: Database, d: SqlDialect) -> list[str]:
+    # The pointer cell is read as the *name* of an attribute (its canonical
+    # text), but the dereferenced cell keeps its raw typed value — the
+    # algebra copies t[t[A]] verbatim, so casting it would break the
+    # cross-backend equivalence oracle on non-string columns.
     rel = db.relation(op.relation)
+    pointer = d.cast_to_text(d.quote_identifier(op.pointer_attr))
     whens = " ".join(
-        f"WHEN {quote_identifier(op.pointer_attr)} = {quote_literal(attr)} "
-        f"THEN CAST({quote_identifier(attr)} AS TEXT)"
+        f"WHEN {pointer} = {d.quote_literal(attr)} "
+        f"THEN {d.quote_identifier(attr)}"
         for attr in rel.attributes
     )
     body = (
-        f"SELECT *, CASE {whens} END AS {quote_identifier(op.new_attr)} "
-        f"FROM {quote_identifier(op.relation)}"
+        f"SELECT {d.select_modifier()}*, CASE {whens} END "
+        f"AS {d.quote_identifier(op.new_attr)} "
+        f"FROM {d.quote_identifier(op.relation)}"
     )
-    return _recreate(op.relation, body)
+    return _recreate(op.relation, body, d)
 
 
-def _compile_partition(op: Partition, db: Database) -> list[str]:
+def _compile_partition(op: Partition, db: Database, d: SqlDialect) -> list[str]:
     rel = db.relation(op.relation)
     pos = rel.attribute_position(op.attribute)
     names: list = []
@@ -165,33 +247,48 @@ def _compile_partition(op: Partition, db: Database) -> list[str]:
     for value in names:
         table = value_to_text(value)
         statements.append(
-            f"CREATE TABLE {quote_identifier(table)} AS "
-            f"SELECT * FROM {quote_identifier(op.relation)} "
-            f"WHERE {quote_identifier(op.attribute)} = {quote_literal(value)};"
+            f"CREATE TABLE {d.quote_identifier(table)} AS "
+            f"SELECT {d.select_modifier()}* FROM {d.quote_identifier(op.relation)} "
+            f"WHERE {d.quote_identifier(op.attribute)} = {d.quote_literal(value)};"
         )
-    statements.append(f"DROP TABLE {quote_identifier(op.relation)};")
+    statements.append(f"DROP TABLE {d.quote_identifier(op.relation)};")
     return statements
 
 
-def _compile_merge(op: Merge, db: Database) -> list[str]:
+def _compile_merge(op: Merge, db: Database, d: SqlDialect) -> list[str]:
+    # NULL never equals NULL in the merge semantics, so NULL-keyed tuples do
+    # not participate: GROUP BY the non-NULL keys and UNION the NULL-keyed
+    # rows back in untouched (SQL's GROUP BY would wrongly pool them).
     rel = db.relation(op.relation)
+    key = d.quote_identifier(op.attribute)
     others = [a for a in rel.attributes if a != op.attribute]
     aggregates = ", ".join(
-        f"MAX({quote_identifier(a)}) AS {quote_identifier(a)}" for a in others
+        f"MAX({d.quote_identifier(a)}) AS {d.quote_identifier(a)}" for a in others
     )
-    body = (
-        f"SELECT {quote_identifier(op.attribute)}, {aggregates} "
-        f"FROM {quote_identifier(op.relation)} "
-        f"GROUP BY {quote_identifier(op.attribute)}"
+    passthrough_cols = ", ".join(
+        [key, *(d.quote_identifier(a) for a in others)]
     )
+    grouped = (
+        f"SELECT {key}, {aggregates} "
+        f"FROM {d.quote_identifier(op.relation)} "
+        f"WHERE {key} IS NOT NULL "
+        f"GROUP BY {key}"
+    )
+    passthrough = (
+        f"SELECT {d.select_modifier()}{passthrough_cols} "
+        f"FROM {d.quote_identifier(op.relation)} "
+        f"WHERE {key} IS NULL"
+    )
+    body = f"{grouped} UNION ALL {passthrough}"
     return [
         "-- merge: GROUP BY/MAX coalescing assumes one non-NULL value per "
-        "column per group (guaranteed after promote)",
-        *_recreate(op.relation, body),
+        "column per group (guaranteed after promote); NULL-keyed rows pass "
+        "through unmerged",
+        *_recreate(op.relation, body, d),
     ]
 
 
-def _compile_product(op: CartesianProduct, db: Database) -> list[str]:
+def _compile_product(op: CartesianProduct, db: Database, d: SqlDialect) -> list[str]:
     left = db.relation(op.left)
     right = db.relation(op.right)
     clashes = left.attribute_set & right.attribute_set
@@ -200,43 +297,65 @@ def _compile_product(op: CartesianProduct, db: Database) -> list[str]:
         parts = []
         for attr in rel.attributes:
             name = f"{rel.name}.{attr}" if attr in clashes else attr
-            parts.append(f"{alias}.{quote_identifier(attr)} AS {quote_identifier(name)}")
+            parts.append(
+                f"{alias}.{d.quote_identifier(attr)} AS {d.quote_identifier(name)}"
+            )
         return ", ".join(parts)
 
     body = (
-        f"SELECT {select_list(left, 'l')}, {select_list(right, 'r')} "
-        f"FROM {quote_identifier(op.left)} l CROSS JOIN {quote_identifier(op.right)} r"
+        f"SELECT {d.select_modifier()}{select_list(left, 'l')}, {select_list(right, 'r')} "
+        f"FROM {d.quote_identifier(op.left)} l "
+        f"CROSS JOIN {d.quote_identifier(op.right)} r"
     )
-    return [f"CREATE TABLE {quote_identifier(op.result_name)} AS {body};"]
+    return [f"CREATE TABLE {d.quote_identifier(op.result_name)} AS {body};"]
 
 
-def _compile_apply(op: ApplyFunction) -> list[str]:
-    args = ", ".join(quote_identifier(a) for a in op.inputs)
+def _compile_apply(op: ApplyFunction, d: SqlDialect) -> list[str]:
+    call = d.function_call(
+        op.function, [d.quote_identifier(a) for a in op.inputs]
+    )
     body = (
-        f"SELECT *, {op.function}({args}) AS {quote_identifier(op.output)} "
-        f"FROM {quote_identifier(op.relation)}"
+        f"SELECT {d.select_modifier()}*, {call} "
+        f"AS {d.quote_identifier(op.output)} "
+        f"FROM {d.quote_identifier(op.relation)}"
     )
     return [
         f"-- apply: {op.function!r} must be available as a UDF / stored procedure",
-        *_recreate(op.relation, body),
+        *_recreate(op.relation, body, d),
     ]
+
+
+def compile_script(
+    expression: MappingExpression,
+    source: Database,
+    registry: "FunctionRegistry | None" = None,
+    dialect: SqlDialect | None = None,
+) -> SqlScript:
+    """Compile a whole pipeline to a :class:`SqlScript`, step by step.
+
+    The pipeline is executed on *source* along the way so that dynamic
+    operators can materialise the names they create.
+    """
+    d = dialect or CANONICAL_DIALECT
+    lines: list[str] = ["-- TUPELO mapping expression compiled to SQL"]
+    statements: list[str] = []
+    db = source
+    for i, op in enumerate(expression, start=1):
+        lines.append(f"-- step {i}: {op}")
+        emitted = compile_operator(op, db, d)
+        lines.extend(emitted)
+        statements.extend(s for s in emitted if not is_sql_comment(s))
+        db = op.apply(db, registry)
+        lines.append("")
+    text = "\n".join(lines).rstrip() + "\n"
+    return SqlScript(dialect=d.name, statements=tuple(statements), text=text)
 
 
 def compile_expression(
     expression: MappingExpression,
     source: Database,
     registry: "FunctionRegistry | None" = None,
+    dialect: SqlDialect | None = None,
 ) -> str:
-    """Compile a whole pipeline to a SQL script, step by step.
-
-    The pipeline is executed on *source* along the way so that dynamic
-    operators can materialise the names they create.
-    """
-    lines: list[str] = ["-- TUPELO mapping expression compiled to SQL"]
-    db = source
-    for i, op in enumerate(expression, start=1):
-        lines.append(f"-- step {i}: {op}")
-        lines.extend(compile_operator(op, db))
-        db = op.apply(db, registry)
-        lines.append("")
-    return "\n".join(lines).rstrip() + "\n"
+    """Compile a whole pipeline to an annotated SQL script (text form)."""
+    return compile_script(expression, source, registry, dialect).text

@@ -65,6 +65,10 @@ SPAN_END = "span_end"
 #: periodic live-progress heartbeat (examined / elapsed / frontier / best-f),
 #: emitted at the LIMIT_CHECK_EVERY cadence from the existing limit polls
 PROGRESS = "progress"
+#: a mapping was compiled for an execution backend
+BACKEND_COMPILE = "backend_compile"
+#: a compiled script finished executing on a backend
+BACKEND_EXECUTE = "backend_execute"
 
 #: every event type a trace may contain, in rough lifecycle order.
 #: (Additions here are backwards-compatible — new event types extend the
@@ -88,6 +92,8 @@ EVENT_TYPES: tuple[str, ...] = (
     SPAN_START,
     SPAN_END,
     PROGRESS,
+    BACKEND_COMPILE,
+    BACKEND_EXECUTE,
 )
 
 #: envelope fields present on every record
@@ -112,6 +118,8 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     SPAN_START: ("span", "name"),
     SPAN_END: ("span", "name", "dur"),
     PROGRESS: ("examined", "elapsed"),
+    BACKEND_COMPILE: ("backend", "statements"),
+    BACKEND_EXECUTE: ("backend", "statements", "dur"),
 }
 
 #: cache labels used by cache_hit / cache_miss events

@@ -53,6 +53,15 @@ from .csvio import (
     save_database,
     save_relation,
 )
+from .dialect import (
+    CANONICAL_DIALECT,
+    DIALECTS,
+    DuckDbDialect,
+    MiniSqlDialect,
+    SqlDialect,
+    SqliteDialect,
+    get_dialect,
+)
 from .sql import database_to_sql, relation_to_sql, tnf_construction_sql
 
 __all__ = [
@@ -98,4 +107,11 @@ __all__ = [
     "database_to_sql",
     "relation_to_sql",
     "tnf_construction_sql",
+    "CANONICAL_DIALECT",
+    "DIALECTS",
+    "DuckDbDialect",
+    "MiniSqlDialect",
+    "SqlDialect",
+    "SqliteDialect",
+    "get_dialect",
 ]

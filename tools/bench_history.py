@@ -49,6 +49,7 @@ DEFAULT_THRESHOLD = 0.15
 TRACKED_METRICS: dict[str, tuple[str, ...]] = {
     "kernel_columnar": ("headline.vs_seed", "headline.vs_memoized"),
     "parallel_scaling": ("arms.workers_2.speedup",),
+    "sql_backends": ("headline.sqlite_vs_minisql",),
 }
 
 
