@@ -27,7 +27,8 @@ Faithfulness notes (see docs/execution.md for the full matrix):
 from __future__ import annotations
 
 import sqlite3
-from typing import TYPE_CHECKING
+from itertools import islice
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..errors import BackendExecutionError
 from ..fira.structure import Select
@@ -64,6 +65,19 @@ def _from_engine(cell: object) -> Value:
     )
 
 
+#: rows per executemany batch during load — large enough to amortise the
+#: statement dispatch, small enough that peak memory stays one chunk of
+#: parameter tuples rather than a full copy of the relation
+LOAD_CHUNK_ROWS = 4096
+
+
+def _chunked(rows: Iterable[Sequence], size: int) -> Iterator[list]:
+    """Yield *rows* in lists of at most *size* (last chunk may be short)."""
+    it = iter(rows)
+    while chunk := list(islice(it, size)):
+        yield chunk
+
+
 def _database_has_bool(db: Database) -> bool:
     return any(
         isinstance(cell, bool)
@@ -98,17 +112,30 @@ class SqliteBackend(SqlBackend):
         return None
 
     def _load(self, conn: sqlite3.Connection, source: Database) -> None:
-        """Create untyped tables and bulk-insert via parameters."""
+        """Create untyped tables and stream rows in via chunked inserts.
+
+        NULL-free relations (the overwhelmingly common case) feed the
+        memoised ``sorted_rows_view`` tuples to ``executemany`` as-is —
+        no per-row Python copy; relations with NULLs stream through a
+        converting generator.  Either way the load materialises at most
+        :data:`LOAD_CHUNK_ROWS` parameter tuples at a time.
+        """
         d = self.dialect
         for rel in source:
             conn.execute(create_table_sql(rel, d, typed=False))
             placeholders = ", ".join("?" for _ in rel.attributes)
             cols = ", ".join(d.quote_identifier(a) for a in rel.attributes)
-            conn.executemany(
+            sql = (
                 f"INSERT INTO {d.quote_identifier(rel.name)} "
-                f"({cols}) VALUES ({placeholders})",
-                [tuple(_to_engine(v) for v in row) for row in rel.sorted_rows()],
+                f"({cols}) VALUES ({placeholders})"
             )
+            rows: Iterable[Sequence] = rel.sorted_rows_view()
+            if rel.has_nulls:
+                rows = (
+                    tuple(_to_engine(v) for v in row) for row in rows
+                )
+            for chunk in _chunked(rows, LOAD_CHUNK_ROWS):
+                conn.executemany(sql, chunk)
 
     def _register_functions(
         self,

@@ -9,7 +9,7 @@ Commands::
         [--algorithm rbfs] [--heuristic h1] [--k K] [--budget N]
         [--correspondence "Total<-add(Cost,Fee)"]...
         [--portfolio] [--show-matching] [--show-sql]
-        [--output FILE] [--trace FILE] [--progress]
+        [--output FILE] [--trace FILE] [--progress] [--store DIR]
 
     python -m repro experiments --sizes 1 2 3 4
         [--algorithm ida]... [--heuristic h1] [--budget N]
@@ -35,6 +35,10 @@ Commands::
     python -m repro profile [--synthetic N] [--algorithm ida]
         [--heuristic h0] [--budget N] [--top N] [--sort cumulative]
         [--kernel legacy|columnar|columnar+delta] [--spans]
+
+    python -m repro store info --path DIR
+
+    python -m repro store gc --path DIR
 
     python -m repro info
 
@@ -168,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a live progress line (examined/depth/frontier/best-f) "
         "to stderr while the search runs",
     )
+    discover.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="warm-start store directory: serve memoised mappings "
+        "(re-verified against this pair), pre-seed search caches from "
+        "prior runs, and record this run's results for the next one "
+        "(disable globally with REPRO_WARM_STORE=0)",
+    )
 
     experiments = sub.add_parser(
         "experiments",
@@ -223,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist a JSONL trace per measured point under DIR",
+    )
+    experiments.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="shared warm-start store for every measured point "
+        "(serial and parallel sweeps alike)",
     )
     experiments.add_argument(
         "--output", default=None, metavar="FILE", help="archive the series as JSON"
@@ -372,6 +392,26 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of cProfile function rows",
     )
 
+    store = sub.add_parser(
+        "store", help="inspect or compact a warm-start store directory"
+    )
+    store.add_argument(
+        "action",
+        choices=["info", "gc"],
+        help="info: summarise the memo and spills; gc: compact the memo "
+        "and drop the oldest spills over the bound",
+    )
+    store.add_argument(
+        "--path", required=True, metavar="DIR", help="store directory"
+    )
+    store.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc: keep at most N memoised pairs (default: store default)",
+    )
+
     sub.add_parser("info", help="list available algorithms and heuristics")
     return parser
 
@@ -446,6 +486,7 @@ def cmd_discover(args: argparse.Namespace) -> int:
             ),
             tracer=tracer,
             progress=progress,
+            store=args.store,
         )
     finally:
         if tracer is not None:
@@ -455,6 +496,8 @@ def cmd_discover(args: argparse.Namespace) -> int:
         f"(states examined: {result.stats.states_examined}, "
         f"{result.stats.elapsed * 1000:.1f} ms)"
     )
+    if result.served_from_store:
+        print(f"served from warm-start store {args.store} (verified)")
     if args.trace:
         print(f"trace written to {args.trace}")
     if result.deadline_exceeded:
@@ -512,6 +555,7 @@ def _discover_portfolio(args, source, target, correspondences) -> int:
             max_states=args.budget, deadline_seconds=args.deadline
         ),
         trace_dir=args.trace,
+        store=args.store,
     )
     print(race_table(race))
     if args.trace:
@@ -561,6 +605,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             workers=args.workers,
             start_method=args.start_method,
             deadline_seconds=args.deadline,
+            store=args.store,
         )
         for algorithm in algorithms
     ]
@@ -814,6 +859,45 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect (``info``) or compact (``gc``) a warm-start store directory."""
+    from .store import open_store
+
+    store = open_store(args.path)
+    if args.action == "info":
+        info = store.info()
+        memo = info["memo"]
+        print(f"store: {info['path']}  (enabled: {info['enabled']})")
+        print(
+            f"memo: {memo['entries']} entr(ies) across {memo['fingerprints']} "
+            f"pair(s), {memo['bytes']} byte(s), version {memo['version']}"
+            + (f", {memo['corrupt_lines']} corrupt line(s) skipped"
+               if memo["corrupt_lines"] else "")
+        )
+        print(
+            f"spills: {info['spills']} file(s), {info['spill_bytes']} byte(s) "
+            f"(bounds: {info['max_spills']} spills, "
+            f"{info['max_spill_states']} states each)"
+        )
+        return 0
+    if args.max_entries is not None and args.max_entries < 1:
+        print("error: --max-entries needs N >= 1", file=sys.stderr)
+        return 2
+    if args.max_entries is not None:
+        store.memo.max_entries = args.max_entries
+    summary = store.gc()
+    memo = summary["memo"]
+    print(
+        f"memo: kept {memo['kept']} entr(ies), dropped {memo['dropped']} "
+        f"({memo['bytes_before']} -> {memo['bytes_after']} bytes)"
+    )
+    print(
+        f"spills: kept {summary['spills_kept']}, "
+        f"dropped {summary['spills_dropped']}"
+    )
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """List available algorithms, heuristics, and telemetry capabilities."""
     print("algorithms: " + ", ".join(ALGORITHM_NAMES))
@@ -851,6 +935,24 @@ def cmd_info(_args: argparse.Namespace) -> int:
         f"parallel: {cpu_count()} cpu(s), default workers {default_workers()}, "
         f"start methods: {methods} (* = preferred)"
     )
+    from .search.config import SearchConfig
+    from .store import (
+        DEFAULT_MAX_ENTRIES,
+        DEFAULT_MAX_SPILL_STATES,
+        DEFAULT_MAX_SPILLS,
+        warm_store_enabled,
+    )
+
+    print(
+        "caches: transposition + goal + heuristic LRU "
+        f"(capacity {SearchConfig().cache_capacity or 'unbounded'}; "
+        "per-cache hit/miss/eviction counters in experiment reports)"
+    )
+    print(
+        f"store: warm-start {'enabled' if warm_store_enabled() else 'DISABLED'} "
+        f"(REPRO_WARM_STORE; defaults: {DEFAULT_MAX_ENTRIES} memo pairs, "
+        f"{DEFAULT_MAX_SPILLS} spills x {DEFAULT_MAX_SPILL_STATES} states)"
+    )
     return 0
 
 
@@ -862,6 +964,7 @@ _COMMANDS = {
     "tnf": cmd_tnf,
     "trace": cmd_trace,
     "profile": cmd_profile,
+    "store": cmd_store,
     "info": cmd_info,
 }
 

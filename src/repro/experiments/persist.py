@@ -34,6 +34,12 @@ def _point_to_dict(point: ExperimentPoint) -> dict:
     # unbounded sweeps stay byte-identical to the historical format
     if point.deadline_seconds:
         out["deadline_seconds"] = point.deadline_seconds
+    # same shape-preservation rule for the per-cache eviction split: only
+    # capacity-bounded sweeps (where a cache actually churned) carry it
+    if point.successor_cache_evictions:
+        out["successor_cache_evictions"] = point.successor_cache_evictions
+    if point.goal_cache_evictions:
+        out["goal_cache_evictions"] = point.goal_cache_evictions
     return out
 
 
@@ -58,6 +64,10 @@ def series_from_dict(data: Mapping) -> ExperimentSeries:
                 cache_hits=int(point.get("cache_hits", 0)),
                 cache_misses=int(point.get("cache_misses", 0)),
                 cache_evictions=int(point.get("cache_evictions", 0)),
+                successor_cache_evictions=int(
+                    point.get("successor_cache_evictions", 0)
+                ),
+                goal_cache_evictions=int(point.get("goal_cache_evictions", 0)),
                 elapsed_seconds=float(point.get("elapsed_seconds", 0.0)),
                 trace_path=str(point.get("trace_path", "")),
                 deadline_seconds=float(point.get("deadline_seconds", 0.0)),

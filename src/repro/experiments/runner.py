@@ -56,7 +56,10 @@ class ExperimentPoint:
         expression_size: operators in the discovered expression (0 if none).
         cache_hits: memo-cache hits (transposition + goal + heuristic).
         cache_misses: memo-cache misses.
-        cache_evictions: memo-cache LRU evictions.
+        cache_evictions: memo-cache LRU evictions (all three caches).
+        successor_cache_evictions: transposition-table LRU evictions alone
+            (the first cache to churn when ``cache_capacity`` binds).
+        goal_cache_evictions: goal-verdict cache LRU evictions alone.
         elapsed_seconds: wall-clock time of the search run.
         trace_path: path of the JSONL trace persisted for this point
             (empty when the series ran without ``trace_dir``).
@@ -72,6 +75,8 @@ class ExperimentPoint:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    successor_cache_evictions: int = 0
+    goal_cache_evictions: int = 0
     elapsed_seconds: float = 0.0
     trace_path: str = ""
     deadline_seconds: float = 0.0
@@ -103,6 +108,8 @@ def _point(x: float, result: SearchResult, trace_path: str = "") -> ExperimentPo
         cache_hits=result.stats.cache_hits,
         cache_misses=result.stats.cache_misses,
         cache_evictions=result.stats.cache_evictions,
+        successor_cache_evictions=result.stats.successor_cache_evictions,
+        goal_cache_evictions=result.stats.goal_cache_evictions,
         elapsed_seconds=result.stats.elapsed,
         trace_path=trace_path,
         deadline_seconds=result.stats.deadline_seconds or 0.0,
@@ -162,6 +169,7 @@ def run_matching_series(
     workers: int = 0,
     start_method: str | None = None,
     deadline_seconds: float | None = None,
+    store: str | Path | None = None,
 ) -> ExperimentSeries:
     """Experiment 1 (Figs. 5 & 6): synthetic schema matching.
 
@@ -175,6 +183,9 @@ def run_matching_series(
     bounds every point's wall-clock individually; a point that runs out of
     time lands with status ``deadline_exceeded`` and its partial counters
     (and, under *stop_after_cutoff*, ends the series like a budget cut).
+    *store* points every measured point — serial or sharded — at one
+    shared :class:`~repro.store.WarmStartStore` path, so repeated sweeps
+    serve memoised mappings and workers warm each other's searches.
     """
     label = f"{algorithm}/{heuristic}"
     if workers >= 1:
@@ -191,6 +202,7 @@ def run_matching_series(
                 budget=budget,
                 size=size,
                 trace_path=_trace_path(trace_dir, label, size),
+                store_path=str(store) if store is not None else "",
                 collect_metrics=metrics is not None,
                 deadline_seconds=deadline_seconds or 0.0,
             )
@@ -218,6 +230,7 @@ def run_matching_series(
                 simplify=False,
                 tracer=tracer,
                 metrics=metrics,
+                store=store,
             )
         finally:
             if tracer is not None:

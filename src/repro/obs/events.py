@@ -69,6 +69,12 @@ PROGRESS = "progress"
 BACKEND_COMPILE = "backend_compile"
 #: a compiled script finished executing on a backend
 BACKEND_EXECUTE = "backend_execute"
+#: the warm-start store served a verified artifact (kind: memo / spill)
+STORE_HIT = "store_hit"
+#: the warm-start store had nothing servable for a lookup (kind: memo / spill)
+STORE_MISS = "store_miss"
+#: the warm-start store persisted an artifact (kind: memo / spill)
+STORE_WRITE = "store_write"
 
 #: every event type a trace may contain, in rough lifecycle order.
 #: (Additions here are backwards-compatible — new event types extend the
@@ -94,6 +100,9 @@ EVENT_TYPES: tuple[str, ...] = (
     PROGRESS,
     BACKEND_COMPILE,
     BACKEND_EXECUTE,
+    STORE_HIT,
+    STORE_MISS,
+    STORE_WRITE,
 )
 
 #: envelope fields present on every record
@@ -120,6 +129,9 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     PROGRESS: ("examined", "elapsed"),
     BACKEND_COMPILE: ("backend", "statements"),
     BACKEND_EXECUTE: ("backend", "statements", "dur"),
+    STORE_HIT: ("kind",),
+    STORE_MISS: ("kind",),
+    STORE_WRITE: ("kind",),
 }
 
 #: cache labels used by cache_hit / cache_miss events

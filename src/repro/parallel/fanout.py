@@ -98,6 +98,9 @@ class PointSpec:
             the worker (``semantic``; None means built-ins).
         trace_path: JSONL trace destination ("" = untraced); fan-out
             rewrites it with the worker marker before dispatch.
+        store_path: warm-start store directory ("" = no store); workers
+            share the path, so each chunk pre-seeds from and spills to
+            the same :class:`~repro.store.WarmStartStore` files.
         collect_metrics: record this point into the chunk's local
             :class:`~repro.obs.metrics.MetricsRegistry` for merging.
         deadline_seconds: per-point wall-clock deadline (0.0 = unbounded);
@@ -118,6 +121,7 @@ class PointSpec:
     correspondences: tuple[Correspondence, ...] = ()
     registry_provider: str | None = None
     trace_path: str = ""
+    store_path: str = ""
     collect_metrics: bool = False
     deadline_seconds: float = 0.0
 
@@ -163,6 +167,7 @@ def _execute_spec(spec: PointSpec, metrics: MetricsRegistry | None) -> Experimen
             simplify=False,
             tracer=tracer,
             metrics=metrics,
+            store=spec.store_path or None,
         )
     finally:
         if tracer is not None:

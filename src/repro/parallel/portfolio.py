@@ -182,9 +182,16 @@ def _run_arm(
     config: SearchConfig,
     simplify: bool,
     trace_path: str,
+    store: str = "",
     cancel: CancelToken | None = None,
 ) -> dict:
-    """Run one arm to completion and summarise it as a picklable dict."""
+    """Run one arm to completion and summarise it as a picklable dict.
+
+    *store* (a path, shipped as a string so it pickles) points every arm
+    at one shared :class:`~repro.store.WarmStartStore`: the first arm to
+    spill its memo tables warms the others mid-race, and the winner's
+    mapping lands in the memo for the next request.
+    """
     registry = resolve_registry(registry_provider)
     tracer = Tracer(JsonlSink(trace_path)) if trace_path else None
     try:
@@ -201,6 +208,7 @@ def _run_arm(
             tracer=tracer,
             metrics=None,
             cancel=cancel,
+            store=store or None,
         )
     finally:
         if tracer is not None:
@@ -350,6 +358,7 @@ def discover_mapping_portfolio(
     cancel: CancelToken | None = None,
     cancel_grace: float = DEFAULT_CANCEL_GRACE,
     terminate_grace: float = DEFAULT_TERMINATE_GRACE,
+    store: str | Path | None = None,
 ) -> PortfolioResult:
     """Race the algorithm portfolio on one problem; first verified win takes all.
 
@@ -377,6 +386,9 @@ def discover_mapping_portfolio(
             partial stats) before being ``terminate()``d.
         terminate_grace: seconds a terminated child gets to exit before
             escalation to ``kill()``.
+        store: optional warm-start store path shared by every arm (see
+            :mod:`repro.store`): arms pre-seed from and spill to the same
+            files, so the race warms itself and subsequent requests.
 
     Returns:
         A :class:`PortfolioResult`; ``result.result.expression`` is the
@@ -405,6 +417,7 @@ def discover_mapping_portfolio(
             "config": config,
             "simplify": simplify,
             "trace_path": _arm_trace_path(trace_dir, arm),
+            "store": str(store) if store is not None else "",
         }
 
     context = None

@@ -14,6 +14,14 @@ This package provides the data model everything else is built on:
 """
 
 from .database import Database
+from .fingerprint import (
+    instance_digest,
+    pair_fingerprint,
+    pair_shape_fingerprint,
+    relation_digest,
+    relation_shape_digest,
+    shape_digest,
+)
 from .intern import (
     NULL_TOKEN,
     intern_row,
@@ -67,6 +75,12 @@ from .sql import database_to_sql, relation_to_sql, tnf_construction_sql
 __all__ = [
     "Database",
     "Relation",
+    "instance_digest",
+    "pair_fingerprint",
+    "pair_shape_fingerprint",
+    "relation_digest",
+    "relation_shape_digest",
+    "shape_digest",
     "Row",
     "TokenRow",
     "NULL_TOKEN",

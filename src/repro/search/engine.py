@@ -75,6 +75,7 @@ def discover_mapping(
     metrics: MetricsRegistry | None = None,
     cancel: CancelToken | None = None,
     progress: "ProgressSink | Callable | None" = None,
+    store=None,
 ) -> SearchResult:
     """Discover a mapping expression from *source* to *target*.
 
@@ -109,6 +110,15 @@ def discover_mapping(
             :data:`~repro.search.stats.LIMIT_CHECK_EVERY` examinations
             (piggybacked on the existing limit polls); its ``finish()``
             hook fires once when the run ends, whatever the status.
+        store: optional warm-start store — a
+            :class:`~repro.store.WarmStartStore` or a directory path.
+            Before searching, the store's mapping memo is consulted (a hit
+            is re-verified against *source*/*target* and returned with
+            ``served_from_store=True``); on a miss the problem's memo
+            tables are pre-seeded from the store's shared spill, and after
+            the run the discovered mapping and the tables are persisted
+            for the next process.  All store traffic is best-effort and
+            disabled entirely by ``REPRO_WARM_STORE=0``.
 
     Returns:
         A :class:`SearchResult`; check ``result.found`` / ``result.status``.
@@ -126,6 +136,30 @@ def discover_mapping(
         progress_sink = progress
     else:
         progress_sink = CallbackProgress(progress)
+    store_obj = None
+    if store is not None:
+        # Lazy import: only runs with a store requested, keeping repro.store
+        # (and its fingerprint/serialize machinery) off the cold hot path.
+        from ..store import resolve_store
+
+        store_obj = resolve_store(store)
+    if store_obj is not None:
+        served = _serve_from_store(
+            store_obj,
+            source,
+            target,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            k=k,
+            correspondences=correspondences,
+            registry=registry,
+            config=config,
+            run_tracer=run_tracer,
+            metrics=metrics,
+            progress_sink=progress_sink,
+        )
+        if served is not None:
+            return served
     with run_tracer.span("discover", algorithm=algorithm, heuristic=heuristic):
         with run_tracer.span("setup"):
             problem = MappingProblem(
@@ -153,6 +187,11 @@ def discover_mapping(
                 stats.progress = progress_sink
             h.cache_capacity = problem.config.cache_capacity
             h.bind_stats(stats)
+            if store_obj is not None:
+                with run_tracer.span("store_preseed"):
+                    store_obj.preseed(
+                        problem, h, metrics=metrics, tracer=run_tracer
+                    )
         if run_tracer.enabled:
             run_tracer.emit(
                 SEARCH_START,
@@ -199,6 +238,28 @@ def discover_mapping(
         except SearchCancelled:
             status, expression = STATUS_CANCELLED, None
         stats.stop_clock()
+        if store_obj is not None:
+            with run_tracer.span("store_save"):
+                if status == STATUS_FOUND and expression is not None:
+                    from ..store import config_signature
+
+                    store_obj.record(
+                        source,
+                        target,
+                        expression=expression,
+                        algorithm=algorithm,
+                        heuristic=heuristic,
+                        k=k,
+                        signature=config_signature(
+                            problem.config, problem.correspondences
+                        ),
+                        states_examined=stats.states_examined,
+                        metrics=metrics,
+                        tracer=run_tracer,
+                    )
+                store_obj.export(
+                    problem, h, metrics=metrics, tracer=run_tracer
+                )
         if progress_sink is not None:
             progress_sink.finish()
     # Emitted after the discover span closes, keeping the trace contract
@@ -211,6 +272,85 @@ def discover_mapping(
         stats=stats,
         algorithm=algorithm,
         heuristic=heuristic,
+    )
+
+
+def _serve_from_store(
+    store_obj,
+    source: Database,
+    target: Database,
+    *,
+    algorithm: str,
+    heuristic: str,
+    k: float | None,
+    correspondences: Sequence[Correspondence],
+    registry: FunctionRegistry | None,
+    config: SearchConfig | None,
+    run_tracer: Tracer,
+    metrics: MetricsRegistry | None,
+    progress_sink: "ProgressSink | None",
+) -> SearchResult | None:
+    """A memo-served result for this request, or ``None`` (search runs).
+
+    A served run's trace carries a ``store_lookup`` span plus the normal
+    ``search_start`` / ``solution`` / ``search_end`` records (flagged
+    ``served_from_store``), so replay tooling sees a complete run; there
+    is no ``discover`` span because no discovery happened.
+    """
+    with run_tracer.span(
+        "store_lookup", algorithm=algorithm, heuristic=heuristic
+    ):
+        served = store_obj.serve(
+            source,
+            target,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            k=k,
+            registry=registry,
+            metrics=metrics,
+            tracer=run_tracer,
+        )
+    if served is None:
+        return None
+    expression, _entry = served
+    base = config if config is not None else SearchConfig()
+    stats = SearchStats(budget=base.max_states)
+    stats.deadline_seconds = base.deadline_seconds
+    stats.tracer = run_tracer
+    if metrics is not None:
+        stats.metrics = metrics
+    if run_tracer.enabled:
+        run_tracer.emit(
+            SEARCH_START,
+            algorithm=algorithm,
+            heuristic=heuristic,
+            budget=base.max_states,
+            source_relations=len(source.relation_names),
+            target_relations=len(target.relation_names),
+            correspondences=len(correspondences),
+        )
+        run_tracer.emit(
+            SOLUTION,
+            size=len(expression),
+            ops=[str(op) for op in expression.operators],
+        )
+    stats.stop_clock()
+    if progress_sink is not None:
+        progress_sink.finish()
+    if run_tracer.enabled:
+        run_tracer.emit(
+            SEARCH_END,
+            status=STATUS_FOUND,
+            served_from_store=True,
+            **stats.as_dict(),
+        )
+    return SearchResult(
+        status=STATUS_FOUND,
+        expression=expression,
+        stats=stats,
+        algorithm=algorithm,
+        heuristic=heuristic,
+        served_from_store=True,
     )
 
 
@@ -236,6 +376,7 @@ class Tupelo:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         progress: "ProgressSink | Callable | None" = None,
+        store=None,
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ALGORITHMS:
@@ -250,6 +391,8 @@ class Tupelo:
         self.tracer = tracer
         self.metrics = metrics
         self.progress = progress
+        #: warm-start store shared by every discover() call (path or store)
+        self.store = store
 
     def discover(
         self,
@@ -282,6 +425,7 @@ class Tupelo:
             metrics=metrics if metrics is not None else self.metrics,
             cancel=cancel,
             progress=progress if progress is not None else self.progress,
+            store=self.store,
         )
 
     def __repr__(self) -> str:

@@ -40,6 +40,11 @@ class SearchResult:
             reported metric.
         algorithm: algorithm registry name (``"ida"``, ``"rbfs"``, ...).
         heuristic: heuristic registry name (``"h1"``, ``"cosine"``, ...).
+        served_from_store: True when the expression came out of a
+            :class:`~repro.store.WarmStartStore` mapping memo (verified
+            against this very pair) instead of a live search; stats then
+            report zero states examined.  Algorithm/heuristic still name
+            the *request*, since that is what the memo matched on.
     """
 
     status: str
@@ -47,6 +52,7 @@ class SearchResult:
     stats: SearchStats
     algorithm: str
     heuristic: str
+    served_from_store: bool = False
 
     @property
     def found(self) -> bool:

@@ -1,0 +1,239 @@
+"""Process-shared warm-start spills of the search memo tables.
+
+A *spill* is one JSON file holding the transposition table, goal-verdict
+table, and heuristic estimate cache a finished (or budget-cut) search left
+behind, in the value-level encoding of
+:meth:`~repro.search.problem.MappingProblem.export_warm_tables`.  Another
+process — a portfolio arm racing the same pair, a fanout worker sweeping a
+size series, or simply the next CLI invocation — pre-seeds its problem
+from the spill and skips re-deriving every cached successor list.
+
+**Addressing.**  Spills live under ``<store>/warm/<signature>.json`` where
+the *problem signature* (:func:`problem_signature`) hashes the pair
+fingerprint together with the semantics-relevant config knobs
+(operator families, symmetry breaking, pruning, depth cap) and the
+declared correspondences.  Budget, deadline, and cache-capacity knobs are
+deliberately excluded: they bound *how much* search runs, not what any
+cached entry means, so a deadline-cut run can still warm an unbounded one.
+The signature is algorithm- and heuristic-independent too — successor
+lists and goal verdicts are properties of the problem, so an IDA* arm
+warms a beam arm; only heuristic estimate entries are additionally gated
+on the consuming heuristic's ``(name, k)``.
+
+**Sharing.**  Writes merge with the existing file (union of tables, new
+entries winning) and land atomically via temp file + ``os.replace``, so
+concurrent workers strictly add warmth and readers never see a torn file.
+A corrupt, truncated, or mismatched spill degrades to a cold start with a
+``resilience.store_torn_spill`` counter — spills are disposable caches,
+never sources of truth: everything loaded is re-validated structurally
+(:meth:`~repro.search.problem.MappingProblem.preseed_warm_tables`) and
+anything suspect is discarded wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from ..relational.fingerprint import pair_fingerprint
+from ..resilience.runtime import resilience_warning, retry_call
+from ..search.config import SearchConfig
+from ..search.problem import MappingProblem
+from ..semantics.correspondence import encode_correspondence
+from ..serialize import json_dumps_compact, json_loads
+
+#: bump when the spill layout changes incompatibly; old files degrade cold
+SPILL_VERSION = 1
+
+#: default bound on distinct states per exported spill (keeps files in the
+#: low tens of MB even for budget-scale searches; most recent entries win)
+DEFAULT_MAX_SPILL_STATES = 20_000
+
+_TABLE_KEYS = ("relations", "states", "goals", "successors", "heuristics")
+
+
+def config_signature(config: SearchConfig, correspondences=()) -> str:
+    """Hash of the config knobs that change what cached entries *mean*."""
+    payload = {
+        "enabled_operators": sorted(config.enabled_operators),
+        "break_symmetry": config.break_symmetry,
+        "prune_targets": config.prune_targets,
+        "max_depth": config.max_depth,
+        "correspondences": sorted(
+            encode_correspondence(corr) for corr in correspondences
+        ),
+    }
+    return hashlib.sha256(
+        ("tupelo-cfg-v1" + json_dumps_compact(payload)).encode("utf-8")
+    ).hexdigest()
+
+
+def problem_signature(problem: MappingProblem) -> str:
+    """The spill address of one problem: pair content + semantics knobs."""
+    h = hashlib.sha256(b"tupelo-spill-v1")
+    h.update(pair_fingerprint(problem.source, problem.target).encode("utf-8"))
+    h.update(
+        config_signature(problem.config, problem.correspondences).encode(
+            "utf-8"
+        )
+    )
+    return h.hexdigest()
+
+
+def _empty_tables() -> dict:
+    return {
+        "relations": [],
+        "states": [],
+        "goals": [],
+        "successors": [],
+        "heuristics": [],
+    }
+
+
+def merge_tables(base: dict, update: dict, max_states: int | None = None) -> dict:
+    """Union of two spills' tables; *update* wins on key collisions.
+
+    States are re-keyed by content (their relation-reference encoding), so
+    spills written by different processes — whose index spaces are
+    unrelated — merge correctly.  When the union would exceed
+    *max_states*, the newer spill is returned unchanged: bounded freshness
+    beats unbounded growth for a disposable cache.
+    """
+    relations: list = []
+    rel_index: dict[str, int] = {}
+    states: list[list[int]] = []
+    state_index: dict[tuple[int, ...], int] = {}
+    goals: dict[int, object] = {}
+    successors: dict[tuple, list] = {}
+    heuristics: dict[tuple, dict[int, object]] = {}
+
+    def fold(tables: dict) -> None:
+        rel_map: list[int] = []
+        for rel in tables["relations"]:
+            key = json_dumps_compact(rel)
+            idx = rel_index.get(key)
+            if idx is None:
+                idx = rel_index[key] = len(relations)
+                relations.append(rel)
+            rel_map.append(idx)
+        state_map: list[int] = []
+        for refs in tables["states"]:
+            mapped = tuple(rel_map[i] for i in refs)
+            idx = state_index.get(mapped)
+            if idx is None:
+                idx = state_index[mapped] = len(states)
+                states.append(list(mapped))
+            state_map.append(idx)
+        for sidx, verdict in tables["goals"]:
+            goals[state_map[sidx]] = verdict
+        for sidx, symkey, moves in tables["successors"]:
+            key = (
+                state_map[sidx],
+                tuple(symkey) if symkey is not None else None,
+            )
+            successors[key] = [[text, state_map[c]] for text, c in moves]
+        for entry in tables.get("heuristics", ()):
+            bucket = heuristics.setdefault(
+                (entry.get("name"), entry.get("k")), {}
+            )
+            for sidx, value in entry["entries"]:
+                bucket[state_map[sidx]] = value
+
+    fold(base)
+    fold(update)
+    if max_states is not None and len(states) > max_states:
+        return update
+    return {
+        "relations": relations,
+        "states": states,
+        "goals": [[sidx, verdict] for sidx, verdict in goals.items()],
+        "successors": [
+            [sidx, list(symkey) if symkey is not None else None, moves]
+            for (sidx, symkey), moves in successors.items()
+        ],
+        "heuristics": [
+            {
+                "name": name,
+                "k": k,
+                "entries": [[sidx, value] for sidx, value in bucket.items()],
+            }
+            for (name, k), bucket in heuristics.items()
+        ],
+    }
+
+
+def read_spill(path: str | Path, signature: str) -> dict | None:
+    """The tables of the spill at *path*, or ``None``.
+
+    ``None`` covers both the benign case (no spill yet) and every corrupt
+    one — torn writes, truncation, a different format version, a signature
+    that does not match (the file was written for another problem).  The
+    corrupt cases bump ``resilience.store_torn_spill``; the caller starts
+    cold either way.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json_loads(
+            retry_call(
+                lambda: path.read_text(encoding="utf-8"),
+                site="store.spill_read",
+            )
+        )
+    except (OSError, ValueError) as exc:
+        resilience_warning("store_torn_spill", f"{path}: {exc!r}")
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("kind") != "tupelo-warm-spill"
+        or payload.get("version") != SPILL_VERSION
+        or payload.get("problem") != signature
+    ):
+        resilience_warning("store_torn_spill", f"{path}: wrong shape/version")
+        return None
+    tables = payload.get("tables")
+    if not isinstance(tables, dict) or not all(
+        isinstance(tables.get(key), list) for key in _TABLE_KEYS
+    ):
+        resilience_warning("store_torn_spill", f"{path}: missing tables")
+        return None
+    return tables
+
+
+def write_spill(
+    path: str | Path,
+    signature: str,
+    tables: dict,
+    max_states: int | None = DEFAULT_MAX_SPILL_STATES,
+) -> bool:
+    """Merge *tables* into the spill at *path* (atomic); True on success.
+
+    An unreadable existing file is overwritten rather than merged — the
+    new tables are good data and the old file was not.
+    """
+    path = Path(path)
+    existing = read_spill(path, signature)
+    if existing is not None:
+        tables = merge_tables(existing, tables, max_states=max_states)
+    payload = {
+        "kind": "tupelo-warm-spill",
+        "version": SPILL_VERSION,
+        "problem": signature,
+        "tables": tables,
+    }
+    text = json_dumps_compact(payload)
+
+    def write() -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    try:
+        retry_call(write, site="store.spill_write")
+    except OSError as exc:
+        resilience_warning("store_io_error", f"{path}: {exc!r}")
+        return False
+    return True
